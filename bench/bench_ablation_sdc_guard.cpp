@@ -1,0 +1,37 @@
+// Ablation: the address-equality contamination check (paper §3.4/§5.2).
+//
+// When a recovery kernel's own inputs were corrupted, it recomputes exactly
+// the faulting address; Safeguard then refuses to patch, guaranteeing CARE
+// never substitutes an SDC for a crash (its key difference from RCV/LetGo).
+// This bench counts how often the guard fires and verifies that recovered
+// runs produce golden output.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace care;
+  bench::header("Ablation: SDC guard (address-equality check)",
+                "paper §3.4 footnote + §5.2 no-SDC argument");
+  std::printf("%-10s %8s %10s %12s %16s\n", "Workload", "SIGSEGV",
+              "Recovered", "GuardFired", "Recovered=Golden");
+  for (const auto* w : workloads::careWorkloads()) {
+    auto cfg = bench::baseConfig(opt::OptLevel::O0);
+    const inject::ExperimentResult r = inject::runExperiment(*w, cfg);
+    int guard = 0, recovered = 0, golden = 0;
+    for (const auto& rec : r.records) {
+      if (!rec.haveCare) continue;
+      if (rec.withCare.careFailReason ==
+          "recomputed address equals faulting address")
+        ++guard;
+      if (rec.withCare.careRecovered) {
+        ++recovered;
+        if (rec.withCare.outputMatchesGolden) ++golden;
+      }
+    }
+    std::printf("%-10s %8d %10d %12d %11d/%d\n", w->name.c_str(),
+                r.segvCount(), recovered, guard, golden, recovered);
+  }
+  std::printf("\n(GuardFired counts injections where the kernel reproduced "
+              "the corrupted address, i.e. crashes the guard kept from\n"
+              " becoming silent corruptions.)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: the liveness-gated Terminal Value rule (paper §3.2).
+//
+// Three Armor configurations over the same campaign:
+//   paper     — liveness + non-local-use rule (the shipped default)
+//   no-nlu    — liveness only (drops the non-local-use half)
+//   maximal   — "aggressively copy all computations": slice to the roots,
+//               ignoring liveness entirely
+// Maximal slicing inflates kernels and loses coverage because parameters it
+// assumes exist were optimized away or dead at the fault point — exactly
+// the failure mode §3.2 argues the Terminal Value rule prevents.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace care;
+  bench::header("Ablation: Terminal-Value slicing rule",
+                "paper §3.2 design discussion");
+  std::printf("%-10s %-8s %10s %14s %10s\n", "Workload", "Config",
+              "Kernels", "Avg IR instrs", "Coverage");
+  struct Config {
+    const char* name;
+    bool requireNonLocalUse;
+    bool maximal;
+  };
+  const Config configs[] = {{"paper", true, false},
+                            {"no-nlu", false, false},
+                            {"maximal", false, true}};
+  for (const auto* w : workloads::careWorkloads()) {
+    for (const Config& c : configs) {
+      auto cfg = bench::baseConfig(opt::OptLevel::O1);
+      cfg.armor.requireNonLocalUse = c.requireNonLocalUse;
+      cfg.armor.maximalSlicing = c.maximal;
+      const inject::ExperimentResult r = inject::runExperiment(*w, cfg);
+      const inject::BuiltWorkload b = inject::buildWorkload(*w, cfg);
+      std::printf("%-10s %-8s %10zu %14.2f %9.1f%%\n", w->name.c_str(),
+                  c.name, b.cm.armorStats.kernelsBuilt,
+                  b.cm.armorStats.avgKernelInstrs(), 100.0 * r.coverage());
+    }
+  }
+  return 0;
+}

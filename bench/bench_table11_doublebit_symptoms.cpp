@@ -1,0 +1,22 @@
+// Table 11 (appendix): soft-failure symptoms under the double-bit model.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace care;
+  bench::header("Table 11: symptoms, double-bit-flip model",
+                "paper Table 11 (82.86%-99.81% SIGSEGV)");
+  std::printf("%-10s %9s %8s %9s %7s\n", "Workload", "SIGSEGV", "SIGBUS",
+              "SIGABRT", "Other");
+  for (const auto* w : workloads::allWorkloads()) {
+    auto cfg = bench::baseConfig(opt::OptLevel::O0, /*bits=*/2);
+    cfg.careOnSegv = false;
+    const inject::ExperimentResult r = inject::runExperiment(*w, cfg);
+    std::printf("%-10s %9d %8d %9d %7d\n", w->name.c_str(),
+                r.countSignal(vm::TrapKind::SegFault),
+                r.countSignal(vm::TrapKind::Bus),
+                r.countSignal(vm::TrapKind::Abort),
+                r.countSignal(vm::TrapKind::Fpe) +
+                    r.countSignal(vm::TrapKind::BadPC));
+  }
+  return 0;
+}

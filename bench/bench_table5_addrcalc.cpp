@@ -1,0 +1,24 @@
+// Table 5: fraction of memory accesses whose address calculation involves
+// multiple operations, and the average number of operations — a static IR
+// property computed by Armor's structural slicer.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace care;
+  bench::header("Table 5: address-computation complexity",
+                "paper Table 5 (86.85%-94.08% multi-op; 2.96-5.6 avg ops)");
+  std::printf("%-10s %14s %14s\n", "Workload", "multi-op %", "avg ops");
+  for (const auto* w : workloads::allWorkloads()) {
+    // Measured on optimized IR, as the paper's Section 2 study measured
+    // compiled binaries: at O0 stack traffic drowns the statistic.
+    auto cfg = bench::baseConfig(opt::OptLevel::O1);
+    const inject::BuiltWorkload b = inject::buildWorkload(*w, cfg);
+    const core::ArmorStats& st = b.cm.armorStats;
+    const double pct =
+        st.memAccesses ? 100.0 * st.multiOpAccesses / st.memAccesses : 0;
+    const double avg =
+        st.multiOpAccesses ? double(st.totalAddrOps) / st.multiOpAccesses : 0;
+    std::printf("%-10s %13.2f%% %14.2f\n", w->name.c_str(), pct, avg);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared plumbing for the table/figure benches.
+//
+// Campaign sizes follow the paper's scaled-down defaults (DESIGN.md §2):
+// CARE_INJECTIONS overrides the per-workload injection count (paper used
+// 10000 for Tables 2-4 and 1000-2000 SIGSEGV points for Fig 7), CARE_SEED
+// the campaign seed. Results are cached under care_artifacts/, so re-running
+// a bench — or another bench sharing the same campaign — is instant.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "inject/experiment.hpp"
+#include "workloads/workloads.hpp"
+
+namespace care::bench {
+
+inline int envInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+inline inject::ExperimentConfig baseConfig(opt::OptLevel level,
+                                           unsigned bits = 1) {
+  inject::ExperimentConfig cfg;
+  cfg.level = level;
+  cfg.bits = bits;
+  cfg.seed = static_cast<std::uint64_t>(envInt("CARE_SEED", 2026));
+  cfg.injections = envInt("CARE_INJECTIONS", 400);
+  return cfg;
+}
+
+inline void header(const std::string& title, const std::string& paperRef) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s; shape comparison, not absolute numbers)\n\n",
+              paperRef.c_str());
+}
+
+inline const char* levelName(opt::OptLevel l) {
+  return l == opt::OptLevel::O0 ? "O0" : "O1";
+}
+
+} // namespace care::bench

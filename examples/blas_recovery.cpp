@@ -1,0 +1,68 @@
+// Library recovery demo (paper §5.5): the REAL Level-1 BLAS compiled as a
+// stand-alone shared-library module, the sblat1-style driver linked against
+// it, and faults injected into *library* code recovered through the
+// library's own recovery table (keys are PC-minus-base on the library side).
+#include <cstdio>
+
+#include "care/driver.hpp"
+#include "inject/injector.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace care;
+
+int main() {
+  core::CompileOptions opts;
+  opts.optLevel = opt::OptLevel::O0;
+  opts.artifactDir = "care_artifacts";
+  auto lib =
+      core::careCompile(workloads::blasLibrary().sources, "blas_ex", opts);
+  auto drv =
+      core::careCompile(workloads::sblat1Driver().sources, "sblat1_ex", opts);
+  std::printf("BLAS library : %zu recovery kernels\n",
+              lib.armorStats.kernelsBuilt);
+  std::printf("sblat1 driver: %zu recovery kernels\n\n",
+              drv.armorStats.kernelsBuilt);
+
+  vm::Image image;
+  image.load(drv.mmod.get());
+  image.load(lib.mmod.get());
+  image.link();
+  std::printf("driver code at 0x%llx, library code at 0x%llx "
+              "(dladdr-style module split)\n\n",
+              static_cast<unsigned long long>(image.module(0).codeBase),
+              static_cast<unsigned long long>(image.module(1).codeBase));
+
+  std::map<std::int32_t, core::ModuleArtifacts> artifacts{
+      {0, drv.artifacts}, {1, lib.artifacts}};
+
+  // Inject into library code only.
+  inject::CampaignConfig ccfg;
+  ccfg.seed = 21;
+  ccfg.targetModules = {1};
+  inject::Campaign campaign(&image, ccfg);
+  if (!campaign.profile()) return 1;
+
+  Rng rng(21);
+  int segv = 0, recovered = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto pt = campaign.sample(rng);
+    const auto plain = campaign.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    ++segv;
+    const auto withCare = campaign.runInjection(pt, &artifacts);
+    if (withCare.careRecovered) {
+      ++recovered;
+      if (recovered == 1)
+        std::printf("first recovery: %.1f us, output %s golden\n",
+                    withCare.recoveryUsTotal,
+                    withCare.outputMatchesGolden ? "matches" : "differs from");
+    }
+  }
+  std::printf("\nlibrary-code SIGSEGVs: %d, recovered: %d (%.1f%%; paper "
+              "reports 83.49%% for sblat1/BLAS)\n",
+              segv, recovered, segv ? 100.0 * recovered / segv : 0.0);
+  return 0;
+}

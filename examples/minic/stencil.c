@@ -1,0 +1,26 @@
+// A GTC-P-style stencil you can drive with the carecc CLI:
+//   carecc compile examples/minic/stencil.c -O1
+//   carecc run     examples/minic/stencil.c -O1
+//   carecc inject  examples/minic/stencil.c -n 300
+double phi[2048];
+double phitmp[2048];
+int igrid[32];
+int mzeta = 7;
+
+int main() {
+  for (int i = 0; i < 32; i = i + 1) { igrid[i] = i * 8; }
+  for (int i = 0; i < 2048; i = i + 1) { phi[i] = i * 0.125; }
+  int igrid_in = igrid[0];
+  for (int step = 0; step < 3; step = step + 1) {
+    for (int i = 0; i < 31; i = i + 1) {
+      for (int k = 0; k < mzeta; k = k + 1) {
+        int addr = (mzeta + 1) * (igrid[i] - igrid_in) + k;
+        phitmp[addr] = 0.5 * phi[addr] + 0.25 * phitmp[addr];
+      }
+    }
+  }
+  double acc = 0.0;
+  for (int i = 0; i < 2048; i = i + 1) { acc = acc + phitmp[i]; }
+  emit(acc);
+  return 0;
+}

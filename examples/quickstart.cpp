@@ -1,0 +1,98 @@
+// Quickstart: protect a program with CARE and watch it survive a fault.
+//
+//   1. Compile a MiniC stencil with careCompile() — Armor builds a recovery
+//      kernel per computed-address memory access and serializes the
+//      recovery table + library.
+//   2. Load it into the VM and attach Safeguard as the SIGSEGV handler.
+//   3. Flip one bit in the destination register of a hot address
+//      computation mid-run.
+//   4. The access faults, Safeguard recomputes the address with the
+//      recovery kernel, patches the index register, and the program
+//      finishes with the correct answer.
+#include <cstdio>
+
+#include "care/driver.hpp"
+#include "inject/injector.hpp"
+#include "support/rng.hpp"
+
+using namespace care;
+
+static const char* kProgram = R"(
+double table[2048];
+int stride = 8;
+
+int main() {
+  for (int i = 0; i < 2048; i = i + 1) { table[i] = i * 1.5; }
+  double sum = 0.0;
+  for (int step = 0; step < 6; step = step + 1) {
+    for (int i = 0; i < 250; i = i + 1) {
+      // computed address: stride * i + step — CARE-protected
+      sum = sum + table[stride * i + step];
+    }
+  }
+  emit(sum);
+  return 0;
+}
+)";
+
+int main() {
+  // --- 1. compile with CARE -------------------------------------------------
+  core::CompileOptions opts;
+  opts.optLevel = opt::OptLevel::O1;
+  opts.artifactDir = "care_artifacts";
+  core::CompiledModule cm =
+      core::careCompile({{"quickstart.c", kProgram}}, "quickstart", opts);
+  std::printf("Armor built %zu recovery kernels (avg %.1f IR instrs), "
+              "table: %s\n",
+              cm.armorStats.kernelsBuilt, cm.armorStats.avgKernelInstrs(),
+              cm.artifacts.tablePath.c_str());
+
+  // --- 2. load + golden run -------------------------------------------------
+  vm::Image image;
+  image.load(cm.mmod.get());
+  image.link();
+  inject::CampaignConfig ccfg;
+  inject::Campaign campaign(&image, ccfg);
+  if (!campaign.profile()) {
+    std::printf("golden run failed\n");
+    return 1;
+  }
+  std::printf("Golden run: %llu instructions, result bits %016llx\n",
+              static_cast<unsigned long long>(campaign.goldenInstrs()),
+              static_cast<unsigned long long>(campaign.goldenOutput()[0]));
+
+  // --- 3. inject until we hit a SIGSEGV, with Safeguard attached ------------
+  std::map<std::int32_t, core::ModuleArtifacts> artifacts{{0, cm.artifacts}};
+  Rng rng(7);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const inject::InjectionPoint pt = campaign.sample(rng);
+    const inject::InjectionResult plain = campaign.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    std::printf("\nInjection #%d: bit %u of the destination of instruction "
+                "(fn %d, instr %d) after execution %llu\n",
+                attempt, pt.bits[0], pt.loc.func, pt.loc.instr,
+                static_cast<unsigned long long>(pt.nth));
+    std::printf("  without CARE: SIGSEGV after %llu instructions -> "
+                "process killed\n",
+                static_cast<unsigned long long>(plain.latencyInstrs));
+    const inject::InjectionResult withCare =
+        campaign.runInjection(pt, &artifacts);
+    if (!withCare.careRecovered) {
+      std::printf("  with CARE: not recoverable (%s); trying another "
+                  "injection...\n",
+                  withCare.careFailReason.c_str());
+      continue;
+    }
+    std::printf("  with CARE: recovered in %.1f us (%llu Safeguard "
+                "activation(s)), output %s golden\n",
+                withCare.recoveryUsTotal,
+                static_cast<unsigned long long>(
+                    withCare.safeguardActivations),
+                withCare.outputMatchesGolden ? "matches" : "differs from");
+    return withCare.outputMatchesGolden ? 0 : 1;
+  }
+  std::printf("no recoverable SIGSEGV found in 500 attempts\n");
+  return 1;
+}

@@ -1,0 +1,122 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace care::analysis {
+
+namespace {
+
+void postorder(BasicBlock* bb, std::set<BasicBlock*>& seen,
+               std::vector<BasicBlock*>& out) {
+  if (!seen.insert(bb).second) return;
+  for (BasicBlock* s : bb->successors()) postorder(s, seen, out);
+  out.push_back(bb);
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const Function& f) : f_(f) {
+  CARE_ASSERT(!f.isDeclaration(), "dominators of a declaration");
+  // Reverse post-order from entry.
+  std::set<BasicBlock*> seen;
+  std::vector<BasicBlock*> po;
+  postorder(f.entry(), seen, po);
+  rpo_.assign(po.rbegin(), po.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i)
+    rpoIndex_[rpo_[i]] = static_cast<int>(i);
+
+  // Cooper–Harvey–Kennedy: iterate until the idom array stabilizes.
+  const int n = static_cast<int>(rpo_.size());
+  idom_.assign(static_cast<std::size_t>(n), -1);
+  idom_[0] = 0; // entry's idom is itself during iteration
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (a > b) a = idom_[static_cast<std::size_t>(a)];
+      while (b > a) b = idom_[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 1; i < n; ++i) {
+      BasicBlock* bb = rpo_[static_cast<std::size_t>(i)];
+      int newIdom = -1;
+      for (BasicBlock* p : bb->predecessors()) {
+        auto it = rpoIndex_.find(p);
+        if (it == rpoIndex_.end()) continue; // unreachable pred
+        const int pi = it->second;
+        if (pi != i && idom_[static_cast<std::size_t>(pi)] == -1 && pi != 0)
+          continue; // not yet processed
+        newIdom = (newIdom == -1) ? pi : intersect(newIdom, pi);
+      }
+      if (newIdom != -1 && idom_[static_cast<std::size_t>(i)] != newIdom) {
+        idom_[static_cast<std::size_t>(i)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+
+  // Dominance frontiers.
+  for (BasicBlock* bb : rpo_) frontiers_[bb] = {};
+  for (BasicBlock* bb : rpo_) {
+    auto preds = bb->predecessors();
+    // Only join points (>= 2 reachable preds) contribute.
+    std::vector<BasicBlock*> rpreds;
+    for (BasicBlock* p : preds)
+      if (rpoIndex_.count(p)) rpreds.push_back(p);
+    if (rpreds.size() < 2) continue;
+    const int bi = rpoIndex_.at(bb);
+    for (BasicBlock* p : rpreds) {
+      int runner = rpoIndex_.at(p);
+      while (runner != idom_[static_cast<std::size_t>(bi)]) {
+        BasicBlock* rb = rpo_[static_cast<std::size_t>(runner)];
+        auto& fr = frontiers_[rb];
+        if (std::find(fr.begin(), fr.end(), bb) == fr.end()) fr.push_back(bb);
+        runner = idom_[static_cast<std::size_t>(runner)];
+      }
+    }
+  }
+}
+
+BasicBlock* DominatorTree::idom(const BasicBlock* bb) const {
+  auto it = rpoIndex_.find(bb);
+  CARE_ASSERT(it != rpoIndex_.end(), "idom of unreachable block");
+  if (it->second == 0) return nullptr;
+  return rpo_[static_cast<std::size_t>(
+      idom_[static_cast<std::size_t>(it->second)])];
+}
+
+bool DominatorTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  auto ia = rpoIndex_.find(a);
+  auto ib = rpoIndex_.find(b);
+  CARE_ASSERT(ia != rpoIndex_.end() && ib != rpoIndex_.end(),
+              "dominates() on unreachable block");
+  int cur = ib->second;
+  const int target = ia->second;
+  for (;;) {
+    if (cur == target) return true;
+    if (cur == 0) return false;
+    cur = idom_[static_cast<std::size_t>(cur)];
+  }
+}
+
+bool DominatorTree::dominates(const Instruction* def,
+                              const Instruction* use) const {
+  const BasicBlock* db = def->parent();
+  const BasicBlock* ub = use->parent();
+  if (db == ub) return db->indexOf(def) < db->indexOf(use);
+  return dominates(db, ub);
+}
+
+const std::vector<BasicBlock*>&
+DominatorTree::frontier(const BasicBlock* bb) const {
+  auto it = frontiers_.find(bb);
+  CARE_ASSERT(it != frontiers_.end(), "frontier of unreachable block");
+  return it->second;
+}
+
+} // namespace care::analysis

@@ -1,0 +1,49 @@
+// Dominator tree (Cooper–Harvey–Kennedy iterative algorithm) plus dominance
+// frontiers, used by mem2reg's SSA construction and LICM.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace care::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function& f);
+
+  /// Immediate dominator; null for the entry block.
+  BasicBlock* idom(const BasicBlock* bb) const;
+
+  /// Does `a` dominate `b`? (Reflexive: a dominates a.)
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  /// Does instruction `def` dominate instruction `use`? Handles the
+  /// same-block case by instruction order.
+  bool dominates(const Instruction* def, const Instruction* use) const;
+
+  /// Dominance frontier of `bb`.
+  const std::vector<BasicBlock*>& frontier(const BasicBlock* bb) const;
+
+  /// Blocks in reverse post-order.
+  const std::vector<BasicBlock*>& rpo() const { return rpo_; }
+
+  /// Was `bb` reachable from entry? (Unreachable blocks have no idom info.)
+  bool reachable(const BasicBlock* bb) const {
+    return rpoIndex_.count(bb) > 0;
+  }
+
+private:
+  const Function& f_;
+  std::vector<BasicBlock*> rpo_;
+  std::map<const BasicBlock*, int> rpoIndex_;
+  std::vector<int> idom_; // by rpo index; -1 = none
+  std::map<const BasicBlock*, std::vector<BasicBlock*>> frontiers_;
+};
+
+} // namespace care::analysis

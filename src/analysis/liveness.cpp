@@ -1,0 +1,137 @@
+#include "analysis/liveness.hpp"
+
+#include "support/error.hpp"
+
+namespace care::analysis {
+
+namespace {
+
+/// Values liveness tracks: SSA instructions and function arguments.
+bool tracked(const Value* v) {
+  return v->kind() == ir::ValueKind::Instruction ||
+         v->kind() == ir::ValueKind::Argument;
+}
+
+} // namespace
+
+bool Liveness::alwaysAvailable(const Value* v) {
+  // Constants are encodable immediates; globals live at fixed addresses.
+  return !tracked(v);
+}
+
+Liveness::Liveness(const Function& f) : f_(f) {
+  CARE_ASSERT(!f.isDeclaration(), "liveness of a declaration");
+
+  // upwardExposed[bb] = values used in bb before (no SSA redefs) definition;
+  // defs[bb] = values defined in bb. Phi operands count as uses at the end
+  // of the corresponding predecessor, not in the phi's own block.
+  std::map<const BasicBlock*, std::set<const Value*>> gen, def;
+  for (const BasicBlock* bb : f) {
+    auto& g = gen[bb];
+    auto& d = def[bb];
+    for (const Instruction* in : *bb) {
+      if (in->opcode() != ir::Opcode::Phi) {
+        for (unsigned i = 0; i < in->numOperands(); ++i) {
+          const Value* op = in->operand(i);
+          if (tracked(op) && !d.count(op)) g.insert(op);
+        }
+      }
+      if (!in->type()->isVoid()) d.insert(in);
+    }
+  }
+  // Phi operands are live-out of the incoming predecessor.
+  std::map<const BasicBlock*, std::set<const Value*>> phiOut;
+  for (const BasicBlock* bb : f) {
+    for (const Instruction* in : *bb) {
+      if (in->opcode() != ir::Opcode::Phi) break;
+      for (unsigned i = 0; i < in->numPhiIncoming(); ++i) {
+        const Value* op = in->operand(i);
+        if (tracked(op)) phiOut[in->phiBlock(i)].insert(op);
+      }
+    }
+  }
+
+  for (const BasicBlock* bb : f) {
+    liveIn_[bb] = {};
+    liveOut_[bb] = {};
+  }
+
+  // Backward dataflow to a fixed point.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = f.numBlocks(); bi-- > 0;) {
+      const BasicBlock* bb = f.block(bi);
+      std::set<const Value*> out = phiOut.count(bb) ? phiOut[bb]
+                                                    : std::set<const Value*>{};
+      for (const BasicBlock* s : bb->successors())
+        for (const Value* v : liveIn_[s]) out.insert(v);
+      std::set<const Value*> in = gen[bb];
+      for (const Value* v : out)
+        if (!def[bb].count(v)) in.insert(v);
+      if (out != liveOut_[bb]) {
+        liveOut_[bb] = std::move(out);
+        changed = true;
+      }
+      if (in != liveIn_[bb]) {
+        liveIn_[bb] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Liveness::liveBefore(const Value* v, const Instruction* at) const {
+  if (alwaysAvailable(v)) return true;
+  const BasicBlock* bb = at->parent();
+  CARE_ASSERT(bb, "instruction without parent");
+
+  // If v is defined in this block *after* `at`, it cannot be live here
+  // (SSA: single def; uses are dominated by the def).
+  if (const auto* vin = dynamic_cast<const Instruction*>(v)) {
+    if (vin->parent() == bb && bb->indexOf(vin) >= bb->indexOf(at))
+      return false;
+  }
+
+  // Used at-or-after `at` within the block?
+  const std::size_t start = bb->indexOf(at);
+  for (std::size_t i = start; i < bb->size(); ++i) {
+    const Instruction* in = bb->inst(i);
+    if (in->opcode() == ir::Opcode::Phi) continue; // phi uses are edge uses
+    for (unsigned oi = 0; oi < in->numOperands(); ++oi)
+      if (in->operand(oi) == v) return true;
+  }
+  // Live-out of this block (includes phi edge uses of successors)?
+  auto it = liveOut_.find(bb);
+  CARE_ASSERT(it != liveOut_.end(), "block missing from liveness");
+  return it->second.count(v) > 0;
+}
+
+bool Liveness::hasNonLocalUse(const Value* v) const {
+  if (alwaysAvailable(v)) return true;
+  const BasicBlock* home = nullptr;
+  if (const auto* in = dynamic_cast<const Instruction*>(v))
+    home = in->parent();
+  else if (v->kind() == ir::ValueKind::Argument)
+    home = f_.entry();
+  for (const ir::Use& u : v->uses()) {
+    if (u.user->parent() != home) return true;
+    // A phi use in the same block still forces the value across an edge.
+    if (u.user->opcode() == ir::Opcode::Phi) return true;
+  }
+  return false;
+}
+
+const std::set<const Value*>& Liveness::liveIn(const BasicBlock* bb) const {
+  auto it = liveIn_.find(bb);
+  CARE_ASSERT(it != liveIn_.end(), "block missing from liveness");
+  return it->second;
+}
+
+const std::set<const Value*>& Liveness::liveOut(const BasicBlock* bb) const {
+  auto it = liveOut_.find(bb);
+  CARE_ASSERT(it != liveOut_.end(), "block missing from liveness");
+  return it->second;
+}
+
+} // namespace care::analysis

@@ -1,0 +1,46 @@
+// SSA liveness analysis.
+//
+// This is the analysis Armor's Terminal Value rule (paper §3.2) is built on:
+// a value may be a recovery-kernel parameter only if it is live at the
+// protected memory access (so it is guaranteed to still exist in a register
+// or stack slot when the trap fires) and — to survive machine-dependent
+// lowering — has a use outside its defining basic block.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "ir/function.hpp"
+
+namespace care::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Value;
+
+class Liveness {
+public:
+  explicit Liveness(const Function& f);
+
+  /// Is `v` live immediately *before* instruction `at` executes?
+  /// Constants and globals are always available and report true.
+  /// Arguments are live from function entry through their last use.
+  bool liveBefore(const Value* v, const Instruction* at) const;
+
+  /// Does `v` have a use outside its defining basic block (arguments:
+  /// outside the entry block)? Constants/globals report true.
+  bool hasNonLocalUse(const Value* v) const;
+
+  const std::set<const Value*>& liveIn(const BasicBlock* bb) const;
+  const std::set<const Value*>& liveOut(const BasicBlock* bb) const;
+
+private:
+  static bool alwaysAvailable(const Value* v);
+
+  const Function& f_;
+  std::map<const BasicBlock*, std::set<const Value*>> liveIn_;
+  std::map<const BasicBlock*, std::set<const Value*>> liveOut_;
+};
+
+} // namespace care::analysis

@@ -1,0 +1,80 @@
+#include "analysis/loopinfo.hpp"
+
+#include <algorithm>
+
+namespace care::analysis {
+
+BasicBlock* Loop::preheader() const {
+  BasicBlock* pre = nullptr;
+  for (BasicBlock* p : header->predecessors()) {
+    if (contains(p)) continue;
+    if (pre) return nullptr; // multiple outside preds
+    pre = p;
+  }
+  return pre;
+}
+
+LoopInfo::LoopInfo(const Function& f, const DominatorTree& dt) {
+  // Find back edges (tail -> header where header dominates tail) and flood
+  // backwards from each tail to collect the natural loop body.
+  for (BasicBlock* bb : f) {
+    if (!dt.reachable(bb)) continue;
+    for (BasicBlock* succ : bb->successors()) {
+      if (!dt.reachable(succ) || !dt.dominates(succ, bb)) continue;
+      // succ is a loop header; merge into an existing loop with the same
+      // header (multiple back edges) or start a new one.
+      Loop* loop = nullptr;
+      for (auto& l : loops_)
+        if (l->header == succ) loop = l.get();
+      if (!loop) {
+        loops_.push_back(std::make_unique<Loop>());
+        loop = loops_.back().get();
+        loop->header = succ;
+        loop->blocks.insert(succ);
+      }
+      std::vector<BasicBlock*> stack{bb};
+      while (!stack.empty()) {
+        BasicBlock* cur = stack.back();
+        stack.pop_back();
+        if (!loop->blocks.insert(cur).second) continue;
+        for (BasicBlock* p : cur->predecessors())
+          if (dt.reachable(p)) stack.push_back(p);
+      }
+    }
+  }
+
+  // Establish nesting: sort by size so parents (bigger) come later; a loop's
+  // parent is the smallest strictly-containing loop.
+  std::vector<Loop*> bySize;
+  for (auto& l : loops_) bySize.push_back(l.get());
+  std::sort(bySize.begin(), bySize.end(), [](const Loop* a, const Loop* b) {
+    return a->blocks.size() < b->blocks.size();
+  });
+  for (std::size_t i = 0; i < bySize.size(); ++i) {
+    for (std::size_t j = i + 1; j < bySize.size(); ++j) {
+      if (bySize[j]->contains(bySize[i]->header) &&
+          bySize[j] != bySize[i]) {
+        bySize[i]->parent = bySize[j];
+        bySize[j]->children.push_back(bySize[i]);
+        break;
+      }
+    }
+  }
+}
+
+Loop* LoopInfo::loopFor(const BasicBlock* bb) const {
+  Loop* best = nullptr;
+  for (const auto& l : loops_) {
+    if (!l->contains(bb)) continue;
+    if (!best || l->blocks.size() < best->blocks.size()) best = l.get();
+  }
+  return best;
+}
+
+unsigned LoopInfo::depth(const BasicBlock* bb) const {
+  unsigned d = 0;
+  for (Loop* l = loopFor(bb); l; l = l->parent) ++d;
+  return d;
+}
+
+} // namespace care::analysis

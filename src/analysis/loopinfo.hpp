@@ -1,0 +1,40 @@
+// Natural-loop detection from dominator-tree back edges; feeds LICM.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+
+namespace care::analysis {
+
+struct Loop {
+  BasicBlock* header = nullptr;
+  std::set<BasicBlock*> blocks;     // includes header
+  Loop* parent = nullptr;           // enclosing loop, if any
+  std::vector<Loop*> children;
+
+  bool contains(const BasicBlock* bb) const {
+    return blocks.count(const_cast<BasicBlock*>(bb)) > 0;
+  }
+  /// The unique out-of-loop predecessor of the header, if there is exactly
+  /// one (LICM hoists there); null otherwise.
+  BasicBlock* preheader() const;
+};
+
+class LoopInfo {
+public:
+  LoopInfo(const Function& f, const DominatorTree& dt);
+
+  const std::vector<std::unique_ptr<Loop>>& loops() const { return loops_; }
+  /// Innermost loop containing `bb`, or null.
+  Loop* loopFor(const BasicBlock* bb) const;
+  /// Loop nesting depth of `bb` (0 = not in a loop).
+  unsigned depth(const BasicBlock* bb) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+};
+
+} // namespace care::analysis

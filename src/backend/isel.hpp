@@ -1,0 +1,47 @@
+// Instruction selection: CARE-IR -> MIR with virtual registers.
+//
+// Notable lowerings (all mirrored from how clang/LLVM emit x86_64):
+//  * alloca slots become frame-pointer-relative memory operands, folded
+//    directly into loads/stores;
+//  * gep pointers fold into base+index*scale+disp addressing;
+//  * a single-use load immediately preceding its (commutable) ALU user is
+//    fused into a CISC memory-operand ALU instruction — the case for which
+//    Armor re-attaches the load's debug location to the user (paper §3.3);
+//  * compares fuse into conditional branches when possible;
+//  * phi nodes are destructed with per-phi temporary copies in predecessors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "backend/mir.hpp"
+#include "ir/module.hpp"
+
+namespace care::backend {
+
+/// Per-function ISel output handed to the register allocator.
+struct ISelResult {
+  MFunction fn;                    // code uses vregs; no prologue/epilogue
+  std::vector<bool> vregIsFP;      // class of vreg (index - kFirstVReg)
+  std::uint32_t allocaBytes = 0;   // frame space already claimed by allocas
+  std::vector<std::uint32_t> callPositions; // instr idx of each Call
+  /// IR value name -> vreg, for debug-info (variable location) emission.
+  std::map<std::string, std::int16_t> namedVRegs;
+  /// Named alloca -> frame offset (debug info: LocKind::FrameAddr).
+  std::map<std::string, std::int64_t> allocaOffsets;
+};
+
+/// Context shared across the functions of one module.
+struct ModuleLowering {
+  const ir::Module* irModule = nullptr;
+  std::map<const ir::Function*, std::int32_t> funcIndex;
+  std::map<const ir::Function*, std::int32_t> externIndex;
+  std::map<const ir::GlobalVariable*, std::int32_t> globalIndex;
+};
+
+/// Lower one defined function. `ml` must already index the module.
+ISelResult selectInstructions(const ir::Function& f, const ModuleLowering& ml);
+
+} // namespace care::backend

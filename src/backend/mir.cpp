@@ -1,0 +1,226 @@
+#include "backend/mir.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace care::backend {
+
+unsigned mtypeSize(MType t) {
+  switch (t) {
+  case MType::I8: return 1;
+  case MType::I32: return 4;
+  case MType::I64: return 8;
+  case MType::F32: return 4;
+  case MType::F64: return 8;
+  }
+  CARE_UNREACHABLE("bad mtype");
+}
+
+MType mtypeFor(const ir::Type* t) {
+  switch (t->kind()) {
+  case ir::TypeKind::I1: return MType::I8;
+  case ir::TypeKind::I32: return MType::I32;
+  case ir::TypeKind::I64: return MType::I64;
+  case ir::TypeKind::F32: return MType::F32;
+  case ir::TypeKind::F64: return MType::F64;
+  case ir::TypeKind::Ptr: return MType::I64;
+  case ir::TypeKind::Void: break;
+  }
+  CARE_UNREACHABLE("no mtype for void");
+}
+
+bool mtypeIsFP(MType t) { return t == MType::F32 || t == MType::F64; }
+
+const char* mopName(MOp op) {
+  switch (op) {
+  case MOp::Mov: return "mov";
+  case MOp::MovImm: return "movi";
+  case MOp::FMov: return "fmov";
+  case MOp::FMovImm: return "fmovi";
+  case MOp::Load: return "load";
+  case MOp::Store: return "store";
+  case MOp::Lea: return "lea";
+  case MOp::IAdd: return "add";
+  case MOp::ISub: return "sub";
+  case MOp::IMul: return "mul";
+  case MOp::IDiv: return "div";
+  case MOp::IRem: return "rem";
+  case MOp::IAnd: return "and";
+  case MOp::IOr: return "or";
+  case MOp::IXor: return "xor";
+  case MOp::IShl: return "shl";
+  case MOp::IAshr: return "ashr";
+  case MOp::Sext32: return "sext32";
+  case MOp::IAluMem: return "alumem";
+  case MOp::FAdd: return "fadd";
+  case MOp::FSub: return "fsub";
+  case MOp::FMul: return "fmul";
+  case MOp::FDiv: return "fdiv";
+  case MOp::FAluMem: return "falumem";
+  case MOp::CvtSiToF: return "cvtsi2f";
+  case MOp::CvtFToSi: return "cvtf2si";
+  case MOp::CvtF32F64: return "cvtf32f64";
+  case MOp::CvtF64F32: return "cvtf64f32";
+  case MOp::SetCmp: return "setcmp";
+  case MOp::FSetCmp: return "fsetcmp";
+  case MOp::BrCmp: return "brcmp";
+  case MOp::FBrCmp: return "fbrcmp";
+  case MOp::Jmp: return "jmp";
+  case MOp::Call: return "call";
+  case MOp::Ret: return "ret";
+  case MOp::MathCall: return "math";
+  case MOp::Emit: return "emit";
+  case MOp::EmitI: return "emiti";
+  case MOp::Abort: return "abort";
+  case MOp::Barrier: return "barrier";
+  }
+  CARE_UNREACHABLE("bad mop");
+}
+
+MathFn mathFnByName(const std::string& n) {
+  if (n == "sqrt") return MathFn::Sqrt;
+  if (n == "fabs") return MathFn::Fabs;
+  if (n == "sin") return MathFn::Sin;
+  if (n == "cos") return MathFn::Cos;
+  if (n == "exp") return MathFn::Exp;
+  if (n == "log") return MathFn::Log;
+  if (n == "floor") return MathFn::Floor;
+  if (n == "ceil") return MathFn::Ceil;
+  if (n == "fmin") return MathFn::Fmin;
+  if (n == "fmax") return MathFn::Fmax;
+  if (n == "pow") return MathFn::Pow;
+  raise("unknown math intrinsic: " + n);
+}
+
+double evalMathFn(MathFn fn, double a, double b) {
+  switch (fn) {
+  case MathFn::Sqrt: return std::sqrt(a);
+  case MathFn::Fabs: return std::fabs(a);
+  case MathFn::Sin: return std::sin(a);
+  case MathFn::Cos: return std::cos(a);
+  case MathFn::Exp: return std::exp(a);
+  case MathFn::Log: return std::log(a);
+  case MathFn::Floor: return std::floor(a);
+  case MathFn::Ceil: return std::ceil(a);
+  case MathFn::Fmin: return std::fmin(a, b);
+  case MathFn::Fmax: return std::fmax(a, b);
+  case MathFn::Pow: return std::pow(a, b);
+  }
+  CARE_UNREACHABLE("bad math fn");
+}
+
+namespace {
+
+std::string regName(std::int16_t r, bool fp) {
+  if (r == kNoReg) return "_";
+  std::ostringstream os;
+  os << (fp ? "f" : "r") << r;
+  return os.str();
+}
+
+std::string memStr(const MemRef& m) {
+  std::ostringstream os;
+  os << "[";
+  bool any = false;
+  if (m.globalIdx >= 0) {
+    os << "g" << m.globalIdx;
+    any = true;
+  }
+  if (m.base != kNoReg) {
+    if (any) os << " + ";
+    os << regName(m.base, false);
+    any = true;
+  }
+  if (m.index != kNoReg) {
+    if (any) os << " + ";
+    os << regName(m.index, false) << "*" << unsigned(m.scale);
+    any = true;
+  }
+  if (m.disp != 0 || !any) os << (m.disp >= 0 && any ? " + " : " ")
+                              << m.disp;
+  os << "]";
+  return os.str();
+}
+
+bool dstIsFP(const MInst& in) {
+  switch (in.op) {
+  case MOp::FMov:
+  case MOp::FMovImm:
+  case MOp::FAdd:
+  case MOp::FSub:
+  case MOp::FMul:
+  case MOp::FDiv:
+  case MOp::FAluMem:
+  case MOp::CvtSiToF:
+  case MOp::CvtF32F64:
+  case MOp::CvtF64F32:
+  case MOp::MathCall:
+    return true;
+  case MOp::Load:
+    return mtypeIsFP(in.mem.type);
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::string toString(const MInst& in) {
+  std::ostringstream os;
+  os << mopName(in.op);
+  const bool fp = dstIsFP(in);
+  if (in.dst != kNoReg) os << " " << regName(in.dst, fp);
+  switch (in.op) {
+  case MOp::MovImm: os << ", " << in.imm; break;
+  case MOp::FMovImm: os << ", " << in.fimm; break;
+  case MOp::Load:
+  case MOp::Lea:
+    os << ", " << memStr(in.mem);
+    break;
+  case MOp::Store:
+    os << " " << memStr(in.mem) << ", "
+       << regName(in.src1, mtypeIsFP(in.mem.type));
+    break;
+  case MOp::IAluMem:
+  case MOp::FAluMem:
+    os << ", " << regName(in.src1, in.op == MOp::FAluMem) << ", "
+       << mopName(static_cast<MOp>(in.sub)) << " " << memStr(in.mem);
+    break;
+  case MOp::BrCmp:
+  case MOp::FBrCmp:
+    os << " " << ir::predName(static_cast<ir::CmpPred>(in.sub)) << " "
+       << regName(in.src1, in.op == MOp::FBrCmp) << ", "
+       << regName(in.src2, in.op == MOp::FBrCmp) << " -> " << in.target;
+    break;
+  case MOp::SetCmp:
+  case MOp::FSetCmp:
+    os << " " << ir::predName(static_cast<ir::CmpPred>(in.sub)) << ", "
+       << regName(in.src1, in.op == MOp::FSetCmp) << ", "
+       << regName(in.src2, in.op == MOp::FSetCmp);
+    break;
+  case MOp::Jmp: os << " -> " << in.target; break;
+  case MOp::Call:
+    os << " " << (in.externCall ? "extern:" : "fn:") << in.target;
+    break;
+  default:
+    if (in.src1 != kNoReg) os << ", " << regName(in.src1, fp);
+    if (in.src2 != kNoReg)
+      os << ", " << regName(in.src2, fp);
+    else if (in.op >= MOp::IAdd && in.op <= MOp::IAshr)
+      os << ", $" << in.imm;
+    break;
+  }
+  return os.str();
+}
+
+std::string toString(const MFunction& f) {
+  std::ostringstream os;
+  os << f.name << ": frame=" << f.frameSize << "\n";
+  for (std::size_t i = 0; i < f.code.size(); ++i)
+    os << "  " << i << ":\t" << toString(f.code[i]) << "\n";
+  return os.str();
+}
+
+} // namespace care::backend

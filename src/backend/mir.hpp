@@ -1,0 +1,208 @@
+// MIR: the machine IR / virtual ISA CARE-IR is lowered to.
+//
+// MIR is an x86_64-flavoured CISC register machine: 16 integer registers,
+// 16 floating-point registers, base+index*scale+disp memory operands, ALU
+// instructions with fused memory operands, an explicit stack with frame and
+// stack pointers, and PC-addressed code (4 "bytes" per instruction). The
+// CARE runtime (Safeguard) needs exactly these properties: a faulting PC it
+// can map through a line table, a disassemblable faulting instruction whose
+// base/index registers it can patch, and DWARF-style variable locations
+// (register or frame slot) to fetch recovery-kernel arguments from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp" // DebugLoc
+#include "ir/type.hpp"
+
+namespace care::backend {
+
+using ir::DebugLoc;
+
+// --- registers --------------------------------------------------------------
+
+/// Integer register roles. r0..r5 pass arguments and r0 returns; r6..r11
+/// are allocatable (r8..r11 callee-saved); r12/r15 are spill scratches;
+/// r13 = frame pointer, r14 = stack pointer.
+enum : std::int16_t {
+  kNoReg = -1,
+  kArg0 = 0,
+  kNumArgRegs = 6,
+  kRet = 0,
+  kAllocFirst = 6,
+  kAllocLast = 11,
+  kCalleeSavedFirst = 8,
+  kScratch2 = 12,
+  kFP = 13,
+  kSP = 14,
+  kScratch = 15,
+  kNumRegs = 16,
+};
+
+/// FP register roles mirror the integer ones: f0..f5 args / f0 return,
+/// f6..f13 allocatable (f8..f13 callee-saved), f14/f15 scratches.
+enum : std::int16_t {
+  kFAllocFirst = 6,
+  kFAllocLast = 13,
+  kFCalleeSavedFirst = 8,
+  kFScratch2 = 14,
+  kFScratch = 15,
+};
+
+/// Virtual registers are numbered from kFirstVReg upward (per class).
+constexpr std::int16_t kFirstVReg = 16;
+
+/// Width/type of a memory access or value.
+enum class MType : std::uint8_t { I8, I32, I64, F32, F64 };
+
+unsigned mtypeSize(MType t);
+MType mtypeFor(const ir::Type* t);
+bool mtypeIsFP(MType t);
+
+// --- operands -----------------------------------------------------------------
+
+/// base + index*scale + disp (+ global relocation before loading).
+struct MemRef {
+  std::int16_t base = kNoReg;
+  std::int16_t index = kNoReg;
+  std::uint8_t scale = 1;
+  std::int64_t disp = 0;
+  std::int32_t globalIdx = -1; // loader adds the global's address to disp
+  MType type = MType::I64;
+};
+
+// --- opcodes -------------------------------------------------------------------
+
+enum class MOp : std::uint8_t {
+  // moves
+  Mov,      // dst <- src1 (int)
+  MovImm,   // dst <- imm
+  FMov,     // dst <- src1 (fp)
+  FMovImm,  // dst <- fimm
+  // memory
+  Load,     // dst <- [mem] (dst class from mem.type)
+  Store,    // [mem] <- src1 (class from mem.type)
+  Lea,      // dst <- effective address of [mem]
+  // integer ALU: dst <- src1 op (src2 or imm when src2 == kNoReg)
+  IAdd, ISub, IMul, IDiv, IRem, IAnd, IOr, IXor, IShl, IAshr,
+  Sext32,   // dst <- sign-extend low 32 bits of src1 (also "trunc to i32")
+  // integer ALU with fused memory operand: dst <- src1 op [mem]
+  IAluMem,  // sub = IAdd..IAshr
+  // FP ALU (fp32 flag selects float rounding): dst <- src1 op src2
+  FAdd, FSub, FMul, FDiv,
+  FAluMem,  // sub = FAdd..FDiv; dst <- src1 op [mem]
+  // conversions
+  CvtSiToF,  // fdst <- (fp) isrc1
+  CvtFToSi,  // idst <- (int) fsrc1 (truncating)
+  CvtF32F64, // widen (no-op numerically; rounds when narrowing variant)
+  CvtF64F32,
+  // compare / branch
+  SetCmp,   // idst <- (src1 pred src2) ? 1 : 0   (sub = CmpPred)
+  FSetCmp,
+  BrCmp,    // if (src1 pred src2) goto target    (sub = CmpPred)
+  FBrCmp,
+  Jmp,      // goto target
+  // calls
+  Call,     // target = function index (or extern index if externCall)
+  Ret,
+  MathCall, // dst <- math[sub](fsrc1[, fsrc2]) — intrinsics, no frame
+  // runtime services
+  Emit,     // append f(src1) to the output channel
+  EmitI,    // append i(src1)
+  Abort,    // raise the Abort trap (assert failure / __abort)
+  Barrier,  // yield to the harness (MPI_Barrier analogue; run() resumes)
+};
+
+const char* mopName(MOp op);
+
+/// Math intrinsic ids for MathCall.sub.
+enum class MathFn : std::uint8_t {
+  Sqrt, Fabs, Sin, Cos, Exp, Log, Floor, Ceil, Fmin, Fmax, Pow,
+};
+MathFn mathFnByName(const std::string& name);
+double evalMathFn(MathFn fn, double a, double b);
+
+struct MInst {
+  MOp op = MOp::Mov;
+  std::uint8_t sub = 0;   // CmpPred, fused ALU op, or MathFn
+  /// Width qualifier: FP ops round results to f32; integer ALU wraps the
+  /// result to 32 bits (sign-extended) — mirrors x86 "l" vs "q" forms.
+  bool narrow = false;
+  std::int16_t dst = kNoReg;
+  std::int16_t src1 = kNoReg;
+  std::int16_t src2 = kNoReg;
+  std::int64_t imm = 0;
+  double fimm = 0;
+  MemRef mem;
+  std::int32_t target = -1; // branch: instruction index; call: function idx
+  bool externCall = false;  // Call resolves through the module extern table
+  DebugLoc loc;
+
+  bool isBranch() const {
+    return op == MOp::BrCmp || op == MOp::FBrCmp || op == MOp::Jmp;
+  }
+  bool hasMem() const {
+    return op == MOp::Load || op == MOp::Store || op == MOp::Lea ||
+           op == MOp::IAluMem || op == MOp::FAluMem;
+  }
+  /// Does this instruction read or write data memory (Lea does not)?
+  bool accessesMemory() const {
+    return op == MOp::Load || op == MOp::Store || op == MOp::IAluMem ||
+           op == MOp::FAluMem;
+  }
+};
+
+// --- variable locations (DWARF DW_AT_location analogue) -------------------------
+
+/// GReg/FReg: the value is in that register. FrameSlot: the value is stored
+/// at [fp + offset]. FrameAddr: the value *is* the address fp + offset
+/// (DWARF DW_OP_fbreg without deref — used for allocas, whose IR value is
+/// the slot's address).
+enum class LocKind : std::uint8_t { GReg, FReg, FrameSlot, FrameAddr };
+
+/// "Variable `name` lives at `where` for instruction indices
+/// [beginIdx, endIdx)". FrameSlot offsets are relative to the frame pointer.
+struct VarLoc {
+  std::string name;
+  std::uint32_t beginIdx = 0;
+  std::uint32_t endIdx = 0;
+  LocKind kind = LocKind::GReg;
+  std::int32_t regOrOffset = 0;
+};
+
+// --- functions / modules --------------------------------------------------------
+
+struct MFunction {
+  std::string name;
+  std::vector<MInst> code;
+  std::uint32_t frameSize = 0;       // bytes below saved-fp for locals/spills
+  std::vector<MType> argTypes;       // argument classes in order
+  MType retType = MType::I64;
+  bool hasRet = false;               // returns a value
+  std::vector<DebugLoc> lineTable;   // per instruction (parallel to code)
+  std::vector<VarLoc> varLocs;       // variable location lists
+};
+
+struct MGlobal {
+  std::string name;
+  MType elemType = MType::F64;
+  std::uint64_t count = 1;
+  std::vector<double> init; // flat initializer (empty = zero)
+};
+
+struct MModule {
+  std::string name;
+  std::vector<MFunction> functions;
+  std::vector<MGlobal> globals;
+  std::vector<std::string> externs;  // unresolved callees, linked by loader
+  std::vector<std::string> files;    // debug file table
+};
+
+/// Pretty-print one instruction (the "disassembler" used in diagnostics).
+std::string toString(const MInst& in);
+std::string toString(const MFunction& f);
+
+} // namespace care::backend

@@ -1,0 +1,542 @@
+#include "backend/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace care::backend {
+
+namespace {
+
+struct RegRef {
+  std::int16_t* slot;
+  bool isFP;
+  bool isDef;
+};
+
+/// Enumerate register operand slots of `in` with their class and def/use
+/// role. MemRef base/index registers are always integer-class uses.
+void collectRegRefs(MInst& in, std::vector<RegRef>& out) {
+  auto use = [&](std::int16_t& s, bool fp) {
+    if (s != kNoReg) out.push_back({&s, fp, false});
+  };
+  auto def = [&](std::int16_t& s, bool fp) {
+    if (s != kNoReg) out.push_back({&s, fp, true});
+  };
+  switch (in.op) {
+  case MOp::Mov: use(in.src1, false); def(in.dst, false); break;
+  case MOp::MovImm: def(in.dst, false); break;
+  case MOp::FMov: use(in.src1, true); def(in.dst, true); break;
+  case MOp::FMovImm: def(in.dst, true); break;
+  case MOp::Load:
+    def(in.dst, mtypeIsFP(in.mem.type));
+    break;
+  case MOp::Store:
+    use(in.src1, mtypeIsFP(in.mem.type));
+    break;
+  case MOp::Lea:
+    def(in.dst, false);
+    break;
+  case MOp::IAdd: case MOp::ISub: case MOp::IMul: case MOp::IDiv:
+  case MOp::IRem: case MOp::IAnd: case MOp::IOr: case MOp::IXor:
+  case MOp::IShl: case MOp::IAshr:
+    use(in.src1, false); use(in.src2, false); def(in.dst, false);
+    break;
+  case MOp::Sext32:
+    use(in.src1, false); def(in.dst, false);
+    break;
+  case MOp::IAluMem:
+    use(in.src1, false); def(in.dst, false);
+    break;
+  case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+    use(in.src1, true); use(in.src2, true); def(in.dst, true);
+    break;
+  case MOp::FAluMem:
+    use(in.src1, true); def(in.dst, true);
+    break;
+  case MOp::CvtSiToF: use(in.src1, false); def(in.dst, true); break;
+  case MOp::CvtFToSi: use(in.src1, true); def(in.dst, false); break;
+  case MOp::CvtF32F64:
+  case MOp::CvtF64F32:
+    use(in.src1, true); def(in.dst, true);
+    break;
+  case MOp::SetCmp:
+    use(in.src1, false); use(in.src2, false); def(in.dst, false);
+    break;
+  case MOp::FSetCmp:
+    use(in.src1, true); use(in.src2, true); def(in.dst, false);
+    break;
+  case MOp::BrCmp: use(in.src1, false); use(in.src2, false); break;
+  case MOp::FBrCmp: use(in.src1, true); use(in.src2, true); break;
+  case MOp::MathCall:
+    use(in.src1, true); use(in.src2, true); def(in.dst, true);
+    break;
+  case MOp::Emit: use(in.src1, true); break;
+  case MOp::EmitI: use(in.src1, false); break;
+  case MOp::Jmp:
+  case MOp::Call:
+  case MOp::Ret:
+  case MOp::Abort:
+  case MOp::Barrier:
+    break;
+  }
+  if (in.hasMem()) {
+    use(in.mem.base, false);
+    use(in.mem.index, false);
+  }
+}
+
+struct Interval {
+  std::int16_t vreg = kNoReg;
+  bool isFP = false;
+  std::int32_t begin = -1;
+  std::int32_t end = -1;
+  bool crossesCall = false;
+  // result
+  std::int16_t phys = kNoReg;
+  std::int32_t spillSlot = -1; // frame offset when spilled
+};
+
+} // namespace
+
+MFunction allocateRegisters(ISelResult isel) {
+  std::vector<MInst>& code = isel.fn.code;
+  const std::size_t n = code.size();
+  const std::int16_t numVRegs =
+      static_cast<std::int16_t>(isel.vregIsFP.size());
+
+  // ------------------------------------------------------------------
+  // 1. Block structure (leaders / successors) for liveness.
+  // ------------------------------------------------------------------
+  std::set<std::int32_t> leaderSet{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (code[i].isBranch()) {
+      leaderSet.insert(code[i].target);
+      if (i + 1 < n) leaderSet.insert(static_cast<std::int32_t>(i + 1));
+    }
+    if (code[i].op == MOp::Ret && i + 1 < n)
+      leaderSet.insert(static_cast<std::int32_t>(i + 1));
+  }
+  std::vector<std::int32_t> leaders(leaderSet.begin(), leaderSet.end());
+  const std::size_t numBlocks = leaders.size();
+  auto blockOf = [&](std::int32_t idx) {
+    auto it = std::upper_bound(leaders.begin(), leaders.end(), idx);
+    return static_cast<std::size_t>(it - leaders.begin()) - 1;
+  };
+  auto blockEnd = [&](std::size_t b) {
+    return b + 1 < numBlocks ? leaders[b + 1] : static_cast<std::int32_t>(n);
+  };
+  std::vector<std::vector<std::size_t>> succs(numBlocks);
+  for (std::size_t b = 0; b < numBlocks; ++b) {
+    const std::int32_t last = blockEnd(b) - 1;
+    if (last < leaders[b]) continue;
+    const MInst& t = code[static_cast<std::size_t>(last)];
+    if (t.op == MOp::Jmp) {
+      succs[b].push_back(blockOf(t.target));
+    } else if (t.op == MOp::BrCmp || t.op == MOp::FBrCmp) {
+      succs[b].push_back(blockOf(t.target));
+      if (last + 1 < static_cast<std::int32_t>(n))
+        succs[b].push_back(blockOf(last + 1));
+    } else if (t.op != MOp::Ret && t.op != MOp::Abort &&
+               last + 1 < static_cast<std::int32_t>(n)) {
+      succs[b].push_back(blockOf(last + 1));
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 2. Liveness of vregs (physical registers are ISel-local, skipped).
+  // ------------------------------------------------------------------
+  auto isVReg = [](std::int16_t r) { return r >= kFirstVReg; };
+  std::vector<std::set<std::int16_t>> liveIn(numBlocks), liveOut(numBlocks);
+  std::vector<RegRef> refs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = numBlocks; b-- > 0;) {
+      std::set<std::int16_t> out;
+      for (std::size_t s : succs[b])
+        out.insert(liveIn[s].begin(), liveIn[s].end());
+      std::set<std::int16_t> in = out;
+      for (std::int32_t i = blockEnd(b) - 1; i >= leaders[b]; --i) {
+        refs.clear();
+        collectRegRefs(code[static_cast<std::size_t>(i)], refs);
+        for (const RegRef& r : refs)
+          if (r.isDef && isVReg(*r.slot)) in.erase(*r.slot);
+        for (const RegRef& r : refs)
+          if (!r.isDef && isVReg(*r.slot)) in.insert(*r.slot);
+      }
+      if (out != liveOut[b]) { liveOut[b] = std::move(out); changed = true; }
+      if (in != liveIn[b]) { liveIn[b] = std::move(in); changed = true; }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 3. Conservative single-range intervals.
+  // ------------------------------------------------------------------
+  std::vector<Interval> ivs(static_cast<std::size_t>(numVRegs));
+  for (std::int16_t v = 0; v < numVRegs; ++v) {
+    ivs[static_cast<std::size_t>(v)].vreg =
+        static_cast<std::int16_t>(kFirstVReg + v);
+    ivs[static_cast<std::size_t>(v)].isFP =
+        isel.vregIsFP[static_cast<std::size_t>(v)];
+  }
+  auto extend = [&](std::int16_t vreg, std::int32_t pos) {
+    Interval& iv = ivs[static_cast<std::size_t>(vreg - kFirstVReg)];
+    if (iv.begin < 0 || pos < iv.begin) iv.begin = pos;
+    if (pos > iv.end) iv.end = pos;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    refs.clear();
+    collectRegRefs(code[i], refs);
+    for (const RegRef& r : refs)
+      if (isVReg(*r.slot)) extend(*r.slot, static_cast<std::int32_t>(i));
+  }
+  for (std::size_t b = 0; b < numBlocks; ++b) {
+    for (std::int16_t v : liveIn[b]) extend(v, leaders[b]);
+    for (std::int16_t v : liveOut[b]) extend(v, blockEnd(b) - 1);
+  }
+  for (std::uint32_t cp : isel.callPositions) {
+    for (Interval& iv : ivs) {
+      if (iv.begin < 0) continue;
+      if (iv.begin < static_cast<std::int32_t>(cp) &&
+          static_cast<std::int32_t>(cp) < iv.end)
+        iv.crossesCall = true;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 4. Linear scan.
+  // ------------------------------------------------------------------
+  std::uint32_t spillBytes = 0;
+  auto newSpillSlot = [&]() {
+    spillBytes += 8;
+    return -static_cast<std::int32_t>(isel.allocaBytes + spillBytes);
+  };
+
+  std::set<std::int16_t> usedCalleeSaved; // both classes; fp offset +100
+  {
+    std::vector<Interval*> order;
+    for (Interval& iv : ivs)
+      if (iv.begin >= 0) order.push_back(&iv);
+    std::sort(order.begin(), order.end(), [](const Interval* a,
+                                             const Interval* b) {
+      return a->begin < b->begin;
+    });
+
+    struct Pool {
+      std::vector<std::int16_t> caller, callee;
+    };
+    Pool ipool{{6, 7}, {8, 9, 10, 11}};
+    Pool fpool{{6, 7}, {8, 9, 10, 11, 12, 13}};
+
+    std::vector<Interval*> active;
+    std::set<std::int16_t> freeInt, freeFP;
+    for (std::int16_t r : ipool.caller) freeInt.insert(r);
+    for (std::int16_t r : ipool.callee) freeInt.insert(r);
+    for (std::int16_t r : fpool.caller) freeFP.insert(r);
+    for (std::int16_t r : fpool.callee) freeFP.insert(r);
+
+    for (Interval* iv : order) {
+      // Expire finished intervals.
+      for (std::size_t a = 0; a < active.size();) {
+        if (active[a]->end < iv->begin) {
+          if (active[a]->phys != kNoReg) {
+            (active[a]->isFP ? freeFP : freeInt).insert(active[a]->phys);
+          }
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
+        } else {
+          ++a;
+        }
+      }
+      auto& freeSet = iv->isFP ? freeFP : freeInt;
+      const std::int16_t csFirst = iv->isFP
+          ? static_cast<std::int16_t>(kFCalleeSavedFirst)
+          : static_cast<std::int16_t>(kCalleeSavedFirst);
+      std::int16_t chosen = kNoReg;
+      if (iv->crossesCall) {
+        for (std::int16_t r : freeSet)
+          if (r >= csFirst) { chosen = r; break; }
+      } else {
+        // Prefer caller-saved to keep callee-saved (and their prologue
+        // traffic) for intervals that need them.
+        for (std::int16_t r : freeSet)
+          if (r < csFirst) { chosen = r; break; }
+        if (chosen == kNoReg && !freeSet.empty()) chosen = *freeSet.begin();
+      }
+      if (chosen != kNoReg) {
+        freeSet.erase(chosen);
+        iv->phys = chosen;
+        active.push_back(iv);
+        if (chosen >= csFirst)
+          usedCalleeSaved.insert(
+              static_cast<std::int16_t>(iv->isFP ? chosen + 100 : chosen));
+      } else {
+        iv->spillSlot = newSpillSlot();
+      }
+    }
+  }
+
+  // Frame slots for callee-saved registers we clobber.
+  std::map<std::int16_t, std::int32_t> csSlot;
+  std::uint32_t csBytes = 0;
+  for (std::int16_t key : usedCalleeSaved) {
+    csBytes += 8;
+    csSlot[key] =
+        -static_cast<std::int32_t>(isel.allocaBytes + spillBytes + csBytes);
+  }
+  const std::uint32_t frameSize =
+      (isel.allocaBytes + spillBytes + csBytes + 15) & ~15u;
+
+  // ------------------------------------------------------------------
+  // 5. Rewrite: prologue, spill loads/stores, epilogues, target fixup.
+  // ------------------------------------------------------------------
+  auto physOf = [&](std::int16_t r) -> const Interval* {
+    if (!isVReg(r)) return nullptr;
+    return &ivs[static_cast<std::size_t>(r - kFirstVReg)];
+  };
+
+  MFunction out;
+  out.name = isel.fn.name;
+  out.argTypes = isel.fn.argTypes;
+  out.retType = isel.fn.retType;
+  out.hasRet = isel.fn.hasRet;
+  out.frameSize = frameSize;
+  std::vector<MInst>& nc = out.code;
+
+  auto put = [&](MInst in, DebugLoc loc) {
+    in.loc = loc;
+    nc.push_back(in);
+  };
+  auto frameStore = [&](std::int16_t reg, bool fp, std::int32_t off,
+                        DebugLoc loc) {
+    MInst st;
+    st.op = MOp::Store;
+    st.src1 = reg;
+    st.mem.base = kFP;
+    st.mem.disp = off;
+    st.mem.type = fp ? MType::F64 : MType::I64;
+    put(st, loc);
+  };
+  auto frameLoad = [&](std::int16_t reg, bool fp, std::int32_t off,
+                       DebugLoc loc) {
+    MInst ld;
+    ld.op = MOp::Load;
+    ld.dst = reg;
+    ld.mem.base = kFP;
+    ld.mem.disp = off;
+    ld.mem.type = fp ? MType::F64 : MType::I64;
+    put(ld, loc);
+  };
+
+  const DebugLoc entryLoc = n > 0 ? code[0].loc : DebugLoc{};
+  // Prologue: push rbp; mov rbp, rsp; sub rsp, frame; save callee-saved.
+  {
+    MInst sub;
+    sub.op = MOp::ISub;
+    sub.dst = kSP;
+    sub.src1 = kSP;
+    sub.imm = 8;
+    put(sub, entryLoc);
+    frameStore(kFP, false, 0, entryLoc);
+    nc.back().mem.base = kSP; // store rbp at [rsp]
+    MInst mv;
+    mv.op = MOp::Mov;
+    mv.dst = kFP;
+    mv.src1 = kSP;
+    put(mv, entryLoc);
+    if (frameSize > 0) {
+      MInst sub2;
+      sub2.op = MOp::ISub;
+      sub2.dst = kSP;
+      sub2.src1 = kSP;
+      sub2.imm = frameSize;
+      put(sub2, entryLoc);
+    }
+    for (const auto& [key, off] : csSlot) {
+      const bool fp = key >= 100;
+      frameStore(static_cast<std::int16_t>(fp ? key - 100 : key), fp, off,
+                 entryLoc);
+    }
+  }
+
+  std::vector<std::int32_t> indexMap(n, -1);
+  std::vector<std::size_t> branchSites;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    indexMap[i] = static_cast<std::int32_t>(nc.size());
+    MInst in = code[i];
+    const DebugLoc loc = in.loc;
+
+    if (in.op == MOp::Ret) {
+      // Epilogue: restore callee-saved, tear down the frame, return.
+      for (const auto& [key, off] : csSlot) {
+        const bool fp = key >= 100;
+        frameLoad(static_cast<std::int16_t>(fp ? key - 100 : key), fp, off,
+                  loc);
+      }
+      MInst mv;
+      mv.op = MOp::Mov;
+      mv.dst = kSP;
+      mv.src1 = kFP;
+      put(mv, loc);
+      frameLoad(kFP, false, 0, loc);
+      nc.back().mem.base = kSP;
+      MInst add;
+      add.op = MOp::IAdd;
+      add.dst = kSP;
+      add.src1 = kSP;
+      add.imm = 8;
+      put(add, loc);
+      put(in, loc);
+      continue;
+    }
+
+    refs.clear();
+    collectRegRefs(in, refs);
+    // Scratch assignment: first spilled int use -> r15, second -> r12,
+    // third (only a Store's src1 can be third) -> r5; FP: f15 then f14.
+    int intScratchUsed = 0, fpScratchUsed = 0;
+    std::int16_t dstScratch = kNoReg;
+    std::int32_t dstSpillOff = 0;
+    bool dstIsFPClass = false;
+    for (const RegRef& r : refs) {
+      const Interval* iv = physOf(*r.slot);
+      if (!iv) continue;
+      if (iv->phys != kNoReg) {
+        *r.slot = iv->phys;
+        continue;
+      }
+      // Spilled.
+      if (r.isDef) {
+        dstIsFPClass = r.isFP;
+        dstScratch = r.isFP ? static_cast<std::int16_t>(kFScratch)
+                            : static_cast<std::int16_t>(kScratch);
+        dstSpillOff = iv->spillSlot;
+        *r.slot = dstScratch;
+        continue;
+      }
+      std::int16_t scratch;
+      if (r.isFP) {
+        static const std::int16_t fpScr[2] = {kFScratch, kFScratch2};
+        CARE_ASSERT(fpScratchUsed < 2, "too many spilled FP operands");
+        scratch = fpScr[fpScratchUsed++];
+      } else {
+        static const std::int16_t iScr[3] = {kScratch, kScratch2, 5};
+        CARE_ASSERT(intScratchUsed < 3, "too many spilled int operands");
+        scratch = iScr[intScratchUsed++];
+      }
+      frameLoad(scratch, r.isFP, iv->spillSlot, loc);
+      *r.slot = scratch;
+    }
+    // Conflict: dst scratch equals a use scratch is fine (reads happen
+    // before the write in every MIR instruction).
+    put(in, loc);
+    if (in.isBranch()) branchSites.push_back(nc.size() - 1);
+    if (dstScratch != kNoReg)
+      frameStore(dstScratch, dstIsFPClass, dstSpillOff, loc);
+  }
+
+  // Fix branch targets through the index map.
+  for (std::size_t site : branchSites) {
+    MInst& br = nc[site];
+    CARE_ASSERT(br.target >= 0 &&
+                    static_cast<std::size_t>(br.target) < indexMap.size(),
+                "branch target out of range");
+    br.target = indexMap[static_cast<std::size_t>(br.target)];
+  }
+
+  // ------------------------------------------------------------------
+  // 6. Debug info: line table + variable locations.
+  // ------------------------------------------------------------------
+  out.lineTable.reserve(nc.size());
+  for (const MInst& in : nc) out.lineTable.push_back(in.loc);
+
+  for (const auto& [name, vreg] : isel.namedVRegs) {
+    const Interval& iv = ivs[static_cast<std::size_t>(vreg - kFirstVReg)];
+    if (iv.begin < 0) continue; // never materialized
+    VarLoc vl;
+    vl.name = name;
+    vl.beginIdx = static_cast<std::uint32_t>(
+        indexMap[static_cast<std::size_t>(iv.begin)]);
+    vl.endIdx = static_cast<std::uint32_t>(
+        iv.end + 1 < static_cast<std::int32_t>(n)
+            ? indexMap[static_cast<std::size_t>(iv.end + 1)]
+            : static_cast<std::int32_t>(nc.size()));
+    if (iv.phys != kNoReg) {
+      vl.kind = iv.isFP ? LocKind::FReg : LocKind::GReg;
+      vl.regOrOffset = iv.phys;
+    } else {
+      vl.kind = LocKind::FrameSlot;
+      vl.regOrOffset = iv.spillSlot;
+    }
+    out.varLocs.push_back(std::move(vl));
+  }
+  // Allocas: their IR value is the slot's address (fp + offset), valid for
+  // the whole function body.
+  for (const auto& [name, off] : isel.allocaOffsets) {
+    VarLoc vl;
+    vl.name = name;
+    vl.beginIdx = 0;
+    vl.endIdx = static_cast<std::uint32_t>(nc.size());
+    vl.kind = LocKind::FrameAddr;
+    vl.regOrOffset = static_cast<std::int32_t>(off);
+    out.varLocs.push_back(std::move(vl));
+  }
+
+  return out;
+}
+
+std::unique_ptr<MModule> lowerModule(const ir::Module& irm) {
+  auto mm = std::make_unique<MModule>();
+  mm->name = irm.name();
+
+  ModuleLowering ml;
+  ml.irModule = &irm;
+
+  // Globals.
+  for (std::size_t i = 0; i < irm.numGlobals(); ++i) {
+    const ir::GlobalVariable* g = irm.global(i);
+    ml.globalIndex[g] = static_cast<std::int32_t>(i);
+    MGlobal mg;
+    mg.name = g->name();
+    mg.elemType = mtypeFor(g->elemType());
+    mg.count = g->count();
+    mg.init = g->init();
+    mm->globals.push_back(std::move(mg));
+  }
+
+  // Function and extern tables. Intrinsics and runtime services are lowered
+  // to dedicated MIR ops and need no entry.
+  for (const ir::Function* f : irm) {
+    if (f->isIntrinsic()) continue;
+    const std::string& nm = f->name();
+    if (nm == "emit" || nm == "emiti" || nm == "__abort" ||
+        nm == "mpi_barrier")
+      continue;
+    if (f->isDeclaration()) {
+      ml.externIndex[f] = static_cast<std::int32_t>(mm->externs.size());
+      mm->externs.push_back(nm);
+    } else {
+      ml.funcIndex[f] = static_cast<std::int32_t>(mm->functions.size());
+      mm->functions.emplace_back(); // reserve the slot; filled below
+      mm->functions.back().name = nm;
+    }
+  }
+
+  for (const ir::Function* f : irm) {
+    auto it = ml.funcIndex.find(f);
+    if (it == ml.funcIndex.end()) continue;
+    ISelResult isel = selectInstructions(*f, ml);
+    mm->functions[static_cast<std::size_t>(it->second)] =
+        allocateRegisters(std::move(isel));
+  }
+
+  for (std::uint32_t i = 1; i <= irm.numFiles(); ++i)
+    mm->files.push_back(irm.fileName(i));
+
+  return mm;
+}
+
+} // namespace care::backend

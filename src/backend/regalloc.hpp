@@ -1,0 +1,24 @@
+// Linear-scan register allocation + frame lowering + debug-info emission.
+//
+// Virtual registers get physical registers from the allocatable pools
+// (r6..r11 / f6..f13); intervals that cross a call site are restricted to
+// the callee-saved subset (r8..r11 / f8..f13) or spilled to frame slots.
+// This stage also emits the prologue/epilogue, rewrites spilled operands
+// through the reserved scratch registers, and produces the two debug-info
+// artifacts CARE's runtime consumes: the per-instruction line table and
+// DWARF-style variable location lists (VarLoc).
+#pragma once
+
+#include "backend/isel.hpp"
+
+namespace care::backend {
+
+/// Consume ISel output, produce the final function (physical registers,
+/// prologue/epilogue, line table and variable locations filled in).
+MFunction allocateRegisters(ISelResult isel);
+
+/// Lower a whole IR module (ISel + RA for every defined function; globals,
+/// externs and the file table copied over).
+std::unique_ptr<MModule> lowerModule(const ir::Module& irm);
+
+} // namespace care::backend

@@ -1,0 +1,478 @@
+#include "care/armor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "analysis/liveness.hpp"
+#include "analysis/loopinfo.hpp"
+#include "ir/irbuilder.hpp"
+#include "ir/names.hpp"
+#include "support/error.hpp"
+
+namespace care::core {
+
+using analysis::Liveness;
+using ir::Argument;
+using ir::BasicBlock;
+using ir::Function;
+using ir::GlobalVariable;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+/// Is this call one Armor may treat as a plain operator (paper §3.2 rule 5)?
+bool isSimpleCallInst(const Instruction* in) {
+  return in->opcode() == Opcode::Call && in->callee() &&
+         (in->callee()->isIntrinsic() || in->callee()->isSimpleCall());
+}
+
+class ArmorPass {
+public:
+  ArmorPass(Module& app, const ArmorOptions& opts)
+      : app_(app), opts_(opts),
+        kernels_(std::make_unique<Module>(app.name() + ".recovery")) {}
+
+  ArmorResult run() {
+    ir::uniquifyNames(app_);
+    for (Function* f : app_) {
+      if (f->isDeclaration()) continue;
+      processFunction(*f);
+    }
+    ArmorResult res;
+    res.kernelModule = std::move(kernels_);
+    res.table = std::move(table_);
+    res.stats = stats_;
+    return res;
+  }
+
+private:
+  // ------------------------------------------------------------------
+  // Slicing (paper Fig. 5)
+  // ------------------------------------------------------------------
+
+  /// Is `op` guaranteed fetchable from the stalled process at `at`?
+  bool isLiveAvailable(const Value* op, const Instruction* at,
+                       const Liveness& live) const {
+    if (opts_.maximalSlicing) return true;
+    // An alloca's value is the frame address rbp+offset: recomputable at
+    // any PC of the function regardless of SSA liveness (the backend emits
+    // a whole-function FrameAddr location for it), so the Terminal Value
+    // liveness gate does not apply.
+    if (const auto* in = dynamic_cast<const Instruction*>(op);
+        in && in->opcode() == Opcode::Alloca)
+      return true;
+    if (!live.liveBefore(op, at)) return false;
+    if (!opts_.requireNonLocalUse) return true;
+    return live.hasNonLocalUse(op);
+  }
+
+  bool isExpandable(const Value* v, const Instruction* memInst,
+                    const Liveness& live,
+                    std::map<const Value*, bool>& memo) const {
+    auto it = memo.find(v);
+    if (it != memo.end()) return it->second;
+    memo[v] = false; // break cycles conservatively (phis stop anyway)
+    const auto* in = dynamic_cast<const Instruction*>(v);
+    if (!in) return false; // constants/globals/args are never statements
+    switch (in->opcode()) {
+    case Opcode::Alloca:
+    case Opcode::Phi:
+    case Opcode::Load: // loads are expandable: re-read the (intact) memory
+    case Opcode::Gep:
+      break;
+    case Opcode::Call:
+      if (!isSimpleCallInst(in)) return false;
+      break;
+    default:
+      break;
+    }
+    if (in->opcode() == Opcode::Alloca || in->opcode() == Opcode::Phi)
+      return false;
+    if (in->opcode() == Opcode::Store || in->isTerminator()) return false;
+    // Every operand must be live-at-I (fetchable) or itself expandable.
+    for (unsigned i = 0; i < in->numOperands(); ++i) {
+      const Value* op = in->operand(i);
+      if (op->isConstant()) continue;
+      if (op->kind() == ir::ValueKind::GlobalVariable) continue; // address
+      if (!isLiveAvailable(op, memInst, live) &&
+          !isExpandable(op, memInst, live, memo))
+        return false;
+    }
+    memo[v] = true;
+    return true;
+  }
+
+  struct Slice {
+    std::vector<const Value*> params;      // terminal inputs, in order
+    std::vector<const Instruction*> stmts; // cloned instructions
+  };
+
+  Slice extract(const Instruction* memInst, const Liveness& live) {
+    Slice s;
+    std::map<const Value*, bool> memo;
+    std::set<const Value*> inParams, inStmts;
+    std::vector<const Value*> workspace{memInst->pointerOperand()};
+    while (!workspace.empty()) {
+      const Value* v = workspace.back();
+      workspace.pop_back();
+      if (inParams.count(v) || inStmts.count(v)) continue;
+      if (v->isConstant()) continue;
+      if (isExpandable(v, memInst, live, memo)) {
+        inStmts.insert(v);
+        s.stmts.push_back(static_cast<const Instruction*>(v));
+        const auto* in = static_cast<const Instruction*>(v);
+        for (unsigned i = 0; i < in->numOperands(); ++i) {
+          const Value* op = in->operand(i);
+          if (op->isConstant()) continue;
+          workspace.push_back(op);
+        }
+      } else {
+        inParams.insert(v);
+        s.params.push_back(v);
+      }
+    }
+    // Topological order by data dependence (stmts form a DAG).
+    std::vector<const Instruction*> ordered;
+    std::set<const Instruction*> done;
+    std::vector<const Instruction*> stack;
+    for (const Instruction* in : s.stmts) {
+      if (done.count(in)) continue;
+      stack.push_back(in);
+      while (!stack.empty()) {
+        const Instruction* cur = stack.back();
+        bool ready = true;
+        for (unsigned i = 0; i < cur->numOperands(); ++i) {
+          const auto* dep =
+              dynamic_cast<const Instruction*>(cur->operand(i));
+          if (dep && inStmts.count(dep) && !done.count(dep)) {
+            stack.push_back(dep);
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          stack.pop_back();
+          if (done.insert(cur).second) ordered.push_back(cur);
+        }
+      }
+    }
+    s.stmts = std::move(ordered);
+    return s;
+  }
+
+  // ------------------------------------------------------------------
+  // Kernel construction
+  // ------------------------------------------------------------------
+
+  /// Clone a "simple" callee (and transitively its simple callees) into the
+  /// kernel module so kernels can call it (the paper links kernel libraries
+  /// against the objects providing such helpers).
+  Function* cloneCallee(const Function* f) {
+    auto it = clonedFns_.find(f);
+    if (it != clonedFns_.end()) return it->second;
+    if (f->isIntrinsic()) {
+      Function* decl = kernels_->intrinsic(f->name());
+      clonedFns_[f] = decl;
+      return decl;
+    }
+    std::vector<ir::Type*> params;
+    for (unsigned i = 0; i < f->numArgs(); ++i)
+      params.push_back(f->arg(i)->type());
+    Function* nf =
+        kernels_->addFunction(f->name(), f->returnType(), std::move(params));
+    nf->setSimpleCall(true);
+    clonedFns_[f] = nf;
+    for (unsigned i = 0; i < f->numArgs(); ++i)
+      nf->setArgName(i, f->arg(i)->name());
+
+    // Full structural clone.
+    std::map<const Value*, Value*> vmap;
+    for (unsigned i = 0; i < f->numArgs(); ++i) vmap[f->arg(i)] = nf->arg(i);
+    std::map<const BasicBlock*, BasicBlock*> bmap;
+    for (const BasicBlock* bb : *f) bmap[bb] = nf->addBlock(bb->name());
+    auto mapValue = [&](const Value* v) -> Value* {
+      if (const auto* ci = dynamic_cast<const ir::ConstantInt*>(v))
+        return kernels_->constInt(ci->type(), ci->value());
+      if (const auto* cf = dynamic_cast<const ir::ConstantFP*>(v))
+        return kernels_->constFP(cf->type(), cf->value());
+      auto mit = vmap.find(v);
+      CARE_ASSERT(mit != vmap.end(),
+                  "simple-callee clone: unmapped value (global in callee?)");
+      return mit->second;
+    };
+    // Two passes so phis can reference forward values.
+    for (const BasicBlock* bb : *f) {
+      for (const Instruction* in : *bb) {
+        auto ni = std::make_unique<Instruction>(in->opcode(), in->type(),
+                                                in->name());
+        ni->setDebugLoc(in->debugLoc());
+        if (in->opcode() == Opcode::Alloca)
+          ni->setAllocaInfo(in->allocaElemType(), in->allocaCount());
+        if (in->opcode() == Opcode::ICmp || in->opcode() == Opcode::FCmp)
+          ni->setPred(in->pred());
+        if (in->opcode() == Opcode::Call)
+          ni->setCallee(cloneCallee(in->callee()));
+        vmap[in] = bmap[bb]->append(std::move(ni));
+      }
+    }
+    for (const BasicBlock* bb : *f) {
+      for (const Instruction* in : *bb) {
+        auto* ni = static_cast<Instruction*>(vmap[in]);
+        if (in->opcode() == Opcode::Phi) {
+          for (unsigned i = 0; i < in->numPhiIncoming(); ++i)
+            ni->addPhiIncoming(mapValue(in->operand(i)),
+                               bmap[in->phiBlock(i)]);
+        } else {
+          for (unsigned i = 0; i < in->numOperands(); ++i)
+            ni->addOperand(mapValue(in->operand(i)));
+        }
+        if (in->numSuccs() > 0) {
+          std::vector<BasicBlock*> succs;
+          for (unsigned i = 0; i < in->numSuccs(); ++i)
+            succs.push_back(bmap[in->succ(i)]);
+          ni->setSuccs(std::move(succs));
+        }
+      }
+    }
+    return nf;
+  }
+
+  void buildKernel(const Instruction* memInst, const Slice& slice) {
+    const std::string symbol = "care_k" + std::to_string(kernelCounter_++);
+    std::vector<ir::Type*> paramTypes;
+    for (const Value* p : slice.params) paramTypes.push_back(p->type());
+    Function* kf = kernels_->addFunction(
+        symbol, memInst->pointerOperand()->type(), std::move(paramTypes));
+    BasicBlock* bb = kf->addBlock("entry");
+    ir::IRBuilder b(kernels_.get());
+    b.setInsertPoint(bb);
+
+    std::map<const Value*, Value*> vmap;
+    for (unsigned i = 0; i < slice.params.size(); ++i) {
+      kf->setArgName(i, slice.params[i]->name());
+      vmap[slice.params[i]] = kf->arg(i);
+    }
+    auto mapValue = [&](const Value* v) -> Value* {
+      if (const auto* ci = dynamic_cast<const ir::ConstantInt*>(v))
+        return kernels_->constInt(ci->type(), ci->value());
+      if (const auto* cf = dynamic_cast<const ir::ConstantFP*>(v))
+        return kernels_->constFP(cf->type(), cf->value());
+      auto it = vmap.find(v);
+      CARE_ASSERT(it != vmap.end(), "kernel clone: unmapped value");
+      return it->second;
+    };
+
+    for (const Instruction* in : slice.stmts) {
+      auto ni =
+          std::make_unique<Instruction>(in->opcode(), in->type(), in->name());
+      if (in->opcode() == Opcode::ICmp || in->opcode() == Opcode::FCmp)
+        ni->setPred(in->pred());
+      if (in->opcode() == Opcode::Call)
+        ni->setCallee(cloneCallee(in->callee()));
+      Instruction* cloned = bb->append(std::move(ni));
+      for (unsigned i = 0; i < in->numOperands(); ++i)
+        cloned->addOperand(mapValue(in->operand(i)));
+      vmap[in] = cloned;
+    }
+    b.setInsertPoint(bb);
+    b.ret(mapValue(memInst->pointerOperand()));
+
+    stats_.kernelsBuilt++;
+    stats_.kernelInstrs += slice.stmts.size();
+
+    // Recovery-table entry.
+    RecoveryEntry entry;
+    entry.symbol = symbol;
+    for (const Value* p : slice.params) {
+      ParamDesc pd;
+      pd.name = p->name();
+      pd.type = p->type();
+      pd.isGlobal = p->kind() == ir::ValueKind::GlobalVariable;
+      if (opts_.inductionRecovery) attachIvAlt(p, pd);
+      entry.params.push_back(std::move(pd));
+    }
+    const ir::DebugLoc& loc = memInst->debugLoc();
+    table_.add(recoveryKey(app_.fileName(loc.file), loc.line, loc.col),
+               std::move(entry));
+  }
+
+  // ------------------------------------------------------------------
+  // Fig. 11: induction-variable equivalences
+  // ------------------------------------------------------------------
+
+  /// A "simple" induction phi: header phi with a constant init from the
+  /// preheader edge and a phi±constant update along the back edge.
+  struct SimpleIv {
+    std::int64_t init = 0;
+    std::int64_t step = 0;
+    const BasicBlock* header = nullptr;
+  };
+
+  static std::optional<SimpleIv> classifyIv(const Instruction* phi) {
+    if (phi->opcode() != Opcode::Phi || !phi->type()->isInteger())
+      return std::nullopt;
+    if (phi->numPhiIncoming() != 2) return std::nullopt;
+    SimpleIv iv;
+    iv.header = phi->parent();
+    bool haveInit = false, haveStep = false;
+    for (unsigned i = 0; i < 2; ++i) {
+      const Value* in = phi->operand(i);
+      if (const auto* c = dynamic_cast<const ir::ConstantInt*>(in)) {
+        iv.init = c->value();
+        haveInit = true;
+        continue;
+      }
+      const auto* upd = dynamic_cast<const Instruction*>(in);
+      if (!upd) return std::nullopt;
+      if (upd->opcode() == Opcode::Add || upd->opcode() == Opcode::Sub) {
+        const auto* c = dynamic_cast<const ir::ConstantInt*>(upd->operand(1));
+        if (c && upd->operand(0) == phi) {
+          iv.step = upd->opcode() == Opcode::Add ? c->value() : -c->value();
+          haveStep = true;
+          continue;
+        }
+        const auto* c0 =
+            dynamic_cast<const ir::ConstantInt*>(upd->operand(0));
+        if (c0 && upd->opcode() == Opcode::Add && upd->operand(1) == phi) {
+          iv.step = c0->value();
+          haveStep = true;
+          continue;
+        }
+      }
+      return std::nullopt;
+    }
+    if (!haveInit || !haveStep || iv.step == 0) return std::nullopt;
+    return iv;
+  }
+
+  /// If `p` is a simple induction phi with a distinct lock-step peer in the
+  /// same loop header, record the affine equivalence on `pd`.
+  void attachIvAlt(const Value* p, ParamDesc& pd) const {
+    const auto* phi = dynamic_cast<const Instruction*>(p);
+    if (!phi) return;
+    const auto self = classifyIv(phi);
+    if (!self) return;
+    for (const Instruction* cand : *self->header) {
+      if (cand == phi) continue;
+      if (cand->opcode() != Opcode::Phi) break;
+      const auto peer = classifyIv(cand);
+      if (!peer) continue;
+      pd.hasIvAlt = true;
+      pd.ivAlt.peerName = cand->name();
+      pd.ivAlt.selfInit = self->init;
+      pd.ivAlt.selfStep = self->step;
+      pd.ivAlt.peerInit = peer->init;
+      pd.ivAlt.peerStep = peer->step;
+      return;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Debug-tuple uniqueness (the paper's key-conflict resolution)
+  // ------------------------------------------------------------------
+
+  void ensureUniqueLoc(Instruction* memInst) {
+    ir::DebugLoc loc = memInst->debugLoc();
+    if (!loc.valid()) {
+      // "Fake debug data": synthesize a unique location.
+      loc.file = app_.internFile("<armor>");
+      loc.line = nextFakeLine_++;
+      loc.col = 1;
+    }
+    auto tuple = [&](const ir::DebugLoc& l) {
+      return app_.fileName(l.file) + ":" + std::to_string(l.line) + ":" +
+             std::to_string(l.col);
+    };
+    while (usedTuples_.count(tuple(loc))) loc.col += 1000; // disambiguate
+    usedTuples_.insert(tuple(loc));
+    memInst->setDebugLoc(loc);
+  }
+
+  // ------------------------------------------------------------------
+
+  /// Structural (liveness-free) operation count of an address calc, for the
+  /// Table 5 statistics.
+  std::size_t countAddrOps(const Instruction* memInst) const {
+    std::set<const Value*> seen;
+    std::vector<const Value*> stack{memInst->pointerOperand()};
+    std::size_t ops = 0;
+    while (!stack.empty()) {
+      const Value* v = stack.back();
+      stack.pop_back();
+      if (!seen.insert(v).second) continue;
+      const auto* in = dynamic_cast<const Instruction*>(v);
+      if (!in) continue;
+      switch (in->opcode()) {
+      case Opcode::Alloca:
+      case Opcode::Phi:
+        continue;
+      case Opcode::Call:
+        if (!isSimpleCallInst(in)) continue;
+        break;
+      default:
+        break;
+      }
+      if (in->isBinaryOp() || isSimpleCallInst(in)) ++ops;
+      // A gep with a variable index is a scale-multiply plus a base-add at
+      // machine level (the paper counts address *operations*, e.g. Fig. 2's
+      // "3 or 4 additions, 1 subtraction, and 1 multiplication").
+      if (in->opcode() == Opcode::Gep)
+        ops += dynamic_cast<const ir::ConstantInt*>(in->operand(1)) ? 1 : 2;
+      for (unsigned i = 0; i < in->numOperands(); ++i)
+        stack.push_back(in->operand(i));
+    }
+    return ops;
+  }
+
+  void processFunction(Function& f) {
+    Liveness live(f);
+    // Snapshot the access list first: buildKernel doesn't mutate code, but
+    // ensureUniqueLoc rewrites debug locs in place.
+    std::vector<Instruction*> accesses;
+    for (BasicBlock* bb : f)
+      for (Instruction* in : *bb)
+        if (in->isMemAccess()) accesses.push_back(in);
+
+    for (Instruction* memInst : accesses) {
+      stats_.memAccesses++;
+      const std::size_t ops = countAddrOps(memInst);
+      if (ops > 1) {
+        stats_.multiOpAccesses++;
+        stats_.totalAddrOps += ops;
+      }
+      const Value* ptr = memInst->pointerOperand();
+      // Paper: accesses straight to an alloca or global involve no address
+      // computation — no kernel.
+      if (ptr->kind() == ir::ValueKind::GlobalVariable) continue;
+      if (const auto* pi = dynamic_cast<const Instruction*>(ptr);
+          pi && pi->opcode() == Opcode::Alloca)
+        continue;
+      ensureUniqueLoc(memInst);
+      Slice slice = extract(memInst, live);
+      buildKernel(memInst, slice);
+    }
+  }
+
+  Module& app_;
+  ArmorOptions opts_;
+  std::unique_ptr<Module> kernels_;
+  RecoveryTable table_;
+  ArmorStats stats_;
+  std::map<const Function*, Function*> clonedFns_;
+  std::set<std::string> usedTuples_;
+  std::size_t kernelCounter_ = 0;
+  std::uint32_t nextFakeLine_ = 1000000;
+};
+
+} // namespace
+
+ArmorResult runArmor(Module& app, const ArmorOptions& opts) {
+  return ArmorPass(app, opts).run();
+}
+
+} // namespace care::core

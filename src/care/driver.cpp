@@ -1,0 +1,58 @@
+#include "care/driver.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "ir/names.hpp"
+#include "ir/serialize.hpp"
+#include "ir/verifier.hpp"
+#include "lang/compile.hpp"
+
+namespace care::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double secSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+} // namespace
+
+CompiledModule careCompile(const std::vector<SourceFile>& sources,
+                           const std::string& moduleName,
+                           const CompileOptions& opts) {
+  CompiledModule out;
+
+  // --- normal compilation (front end + optimizer) --------------------------
+  const auto tNormal0 = Clock::now();
+  out.irMod = std::make_unique<ir::Module>(moduleName);
+  for (const SourceFile& src : sources)
+    lang::compileIntoModule(src.content, src.name, *out.irMod);
+  ir::verifyOrDie(*out.irMod);
+  opt::optimize(*out.irMod, opts.optLevel);
+  ir::verifyOrDie(*out.irMod);
+  ir::uniquifyNames(*out.irMod);
+  out.timings.normalSec = secSince(tNormal0);
+
+  // --- Armor (between optimization and lowering) ---------------------------
+  if (opts.enableCare) {
+    const auto tArmor0 = Clock::now();
+    ArmorResult armor = runArmor(*out.irMod, opts.armor);
+    ir::verifyOrDie(*armor.kernelModule);
+    std::filesystem::create_directories(opts.artifactDir);
+    out.artifacts.tablePath =
+        opts.artifactDir + "/" + moduleName + ".rtable";
+    out.artifacts.libPath = opts.artifactDir + "/" + moduleName + ".rlib";
+    armor.table.writeFile(out.artifacts.tablePath);
+    ir::writeModuleFile(*armor.kernelModule, out.artifacts.libPath);
+    out.armorStats = armor.stats;
+    out.timings.armorSec = secSince(tArmor0);
+  }
+
+  // --- lowering (still part of "normal compilation" time) ------------------
+  const auto tLower0 = Clock::now();
+  out.mmod = backend::lowerModule(*out.irMod);
+  out.timings.normalSec += secSince(tLower0);
+  return out;
+}
+
+} // namespace care::core

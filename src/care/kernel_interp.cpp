@@ -1,0 +1,425 @@
+#include "care/kernel_interp.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "backend/mir.hpp" // evalMathFn / mathFnByName
+#include "support/error.hpp"
+
+namespace care::core {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::CmpPred;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+/// Local alloca buffers are addressed from this reserved range, far outside
+/// anything the loader maps.
+constexpr std::uint64_t kLocalBase = 0xCA7E000000000000ull;
+
+constexpr std::size_t kMaxSteps = 100000;
+constexpr int kMaxDepth = 32;
+
+double bitsToF(RawValue v) {
+  double d;
+  std::memcpy(&d, &v, 8);
+  return d;
+}
+RawValue fToBits(double d) {
+  RawValue v;
+  std::memcpy(&v, &d, 8);
+  return v;
+}
+
+struct Interp {
+  const vm::Memory& mem;
+  std::size_t steps = 0;
+  const char* error = nullptr;
+
+  // Local memory: base address -> buffer.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> locals;
+  std::uint64_t nextLocal = kLocalBase;
+
+  explicit Interp(const vm::Memory& m) : mem(m) {}
+
+  bool isLocal(std::uint64_t addr) const { return addr >= kLocalBase; }
+
+  std::uint8_t* localPtr(std::uint64_t addr, unsigned size) {
+    auto it = locals.upper_bound(addr);
+    if (it == locals.begin()) return nullptr;
+    --it;
+    const std::uint64_t off = addr - it->first;
+    if (off + size > it->second.size()) return nullptr;
+    return it->second.data() + off;
+  }
+
+  bool loadValue(std::uint64_t addr, Type* type, RawValue& out) {
+    const unsigned size = type->sizeBytes();
+    if (isLocal(addr)) {
+      const std::uint8_t* p = localPtr(addr, size);
+      if (!p) { error = "kernel read outside local buffer"; return false; }
+      std::uint64_t raw = 0;
+      std::memcpy(&raw, p, size);
+      out = normalizeLoad(raw, type);
+      return true;
+    }
+    if (type->isFloat()) {
+      double d;
+      if (mem.loadF(addr, backend::mtypeFor(type), d) != vm::MemStatus::Ok) {
+        error = "kernel read unmapped/misaligned process memory";
+        return false;
+      }
+      out = fToBits(d);
+      return true;
+    }
+    std::uint64_t v;
+    if (mem.load(addr, backend::mtypeFor(type), v) != vm::MemStatus::Ok) {
+      error = "kernel read unmapped/misaligned process memory";
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  static RawValue normalizeLoad(std::uint64_t raw, Type* type) {
+    switch (type->kind()) {
+    case ir::TypeKind::I1: return raw & 1;
+    case ir::TypeKind::I32:
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(raw)));
+    case ir::TypeKind::F32: {
+      float f;
+      std::memcpy(&f, &raw, 4);
+      return fToBits(static_cast<double>(f));
+    }
+    default: return raw;
+    }
+  }
+
+  bool storeValue(std::uint64_t addr, Type* type, RawValue v) {
+    const unsigned size = type->sizeBytes();
+    if (!isLocal(addr)) {
+      error = "kernel attempted to write process memory";
+      return false;
+    }
+    std::uint8_t* p = localPtr(addr, size);
+    if (!p) { error = "kernel write outside local buffer"; return false; }
+    if (type == Type::f32()) {
+      const float f = static_cast<float>(bitsToF(v));
+      std::memcpy(p, &f, 4);
+    } else if (type == Type::f64()) {
+      std::memcpy(p, &v, 8);
+    } else {
+      std::memcpy(p, &v, size);
+    }
+    return true;
+  }
+
+  bool call(const Function& f, const std::vector<RawValue>& args,
+            RawValue& ret, int depth);
+};
+
+bool cmpInt(CmpPred p, std::int64_t a, std::int64_t b) {
+  switch (p) {
+  case CmpPred::EQ: return a == b;
+  case CmpPred::NE: return a != b;
+  case CmpPred::LT: return a < b;
+  case CmpPred::LE: return a <= b;
+  case CmpPred::GT: return a > b;
+  case CmpPred::GE: return a >= b;
+  }
+  return false;
+}
+
+bool cmpFP(CmpPred p, double a, double b) {
+  switch (p) {
+  case CmpPred::EQ: return a == b;
+  case CmpPred::NE: return a != b;
+  case CmpPred::LT: return a < b;
+  case CmpPred::LE: return a <= b;
+  case CmpPred::GT: return a > b;
+  case CmpPred::GE: return a >= b;
+  }
+  return false;
+}
+
+bool Interp::call(const Function& f, const std::vector<RawValue>& args,
+                  RawValue& ret, int depth) {
+  if (depth > kMaxDepth) { error = "kernel recursion too deep"; return false; }
+  if (f.isDeclaration()) { error = "kernel calls unresolved function"; return false; }
+
+  std::map<const Value*, RawValue> env;
+  for (unsigned i = 0; i < f.numArgs(); ++i) env[f.arg(i)] = args[i];
+
+  auto valueOf = [&](const Value* v, RawValue& out) -> bool {
+    switch (v->kind()) {
+    case ir::ValueKind::ConstantInt:
+      out = static_cast<std::uint64_t>(
+          static_cast<const ir::ConstantInt*>(v)->value());
+      return true;
+    case ir::ValueKind::ConstantFP:
+      out = fToBits(static_cast<const ir::ConstantFP*>(v)->value());
+      return true;
+    case ir::ValueKind::GlobalVariable:
+      // Kernels never reference globals directly: Armor rewrites global
+      // addresses into parameters because a kernel module's own globals
+      // would not alias the process's.
+      error = "kernel references a global";
+      return false;
+    default: {
+      auto it = env.find(v);
+      if (it == env.end()) { error = "kernel uses undefined value"; return false; }
+      out = it->second;
+      return true;
+    }
+    }
+  };
+
+  const BasicBlock* bb = f.entry();
+  const BasicBlock* prevBB = nullptr;
+  std::size_t idx = 0;
+  while (true) {
+    if (++steps > kMaxSteps) { error = "kernel step budget exceeded"; return false; }
+    if (idx >= bb->size()) { error = "kernel fell off block end"; return false; }
+    const Instruction* in = bb->inst(idx);
+
+    switch (in->opcode()) {
+    case Opcode::Phi: {
+      RawValue v = 0;
+      bool found = false;
+      for (unsigned i = 0; i < in->numPhiIncoming(); ++i) {
+        if (in->phiBlock(i) == prevBB) {
+          if (!valueOf(in->operand(i), v)) return false;
+          found = true;
+          break;
+        }
+      }
+      if (!found) { error = "phi without matching predecessor"; return false; }
+      env[in] = v;
+      ++idx;
+      continue;
+    }
+    case Opcode::Alloca: {
+      const std::uint64_t bytes =
+          in->allocaElemType()->sizeBytes() * in->allocaCount();
+      const std::uint64_t addr = nextLocal;
+      nextLocal += (bytes + 15) & ~15ull;
+      locals.emplace(addr, std::vector<std::uint8_t>(bytes, 0));
+      env[in] = addr;
+      ++idx;
+      continue;
+    }
+    case Opcode::Load: {
+      RawValue addr;
+      if (!valueOf(in->operand(0), addr)) return false;
+      RawValue v;
+      if (!loadValue(addr, in->type(), v)) return false;
+      env[in] = v;
+      ++idx;
+      continue;
+    }
+    case Opcode::Store: {
+      RawValue v, addr;
+      if (!valueOf(in->operand(0), v)) return false;
+      if (!valueOf(in->operand(1), addr)) return false;
+      if (!storeValue(addr, in->operand(0)->type(), v)) return false;
+      ++idx;
+      continue;
+    }
+    case Opcode::Gep: {
+      RawValue base, index;
+      if (!valueOf(in->operand(0), base)) return false;
+      if (!valueOf(in->operand(1), index)) return false;
+      const std::uint64_t scale = in->type()->pointee()->sizeBytes();
+      env[in] = base + index * scale;
+      ++idx;
+      continue;
+    }
+    case Opcode::ICmp: {
+      RawValue a, b;
+      if (!valueOf(in->operand(0), a) || !valueOf(in->operand(1), b))
+        return false;
+      env[in] = cmpInt(in->pred(), static_cast<std::int64_t>(a),
+                       static_cast<std::int64_t>(b))
+                    ? 1
+                    : 0;
+      ++idx;
+      continue;
+    }
+    case Opcode::FCmp: {
+      RawValue a, b;
+      if (!valueOf(in->operand(0), a) || !valueOf(in->operand(1), b))
+        return false;
+      env[in] = cmpFP(in->pred(), bitsToF(a), bitsToF(b)) ? 1 : 0;
+      ++idx;
+      continue;
+    }
+    case Opcode::Select: {
+      RawValue c, t, fv;
+      if (!valueOf(in->operand(0), c) || !valueOf(in->operand(1), t) ||
+          !valueOf(in->operand(2), fv))
+        return false;
+      env[in] = c ? t : fv;
+      ++idx;
+      continue;
+    }
+    case Opcode::Call: {
+      const Function* callee = in->callee();
+      std::vector<RawValue> cargs(in->numOperands());
+      for (unsigned i = 0; i < in->numOperands(); ++i)
+        if (!valueOf(in->operand(i), cargs[i])) return false;
+      RawValue r = 0;
+      if (callee->isIntrinsic()) {
+        const double a = bitsToF(cargs[0]);
+        const double b = cargs.size() > 1 ? bitsToF(cargs[1]) : 0.0;
+        r = fToBits(backend::evalMathFn(
+            backend::mathFnByName(callee->name()), a, b));
+      } else {
+        if (!call(*callee, cargs, r, depth + 1)) return false;
+      }
+      if (!in->type()->isVoid()) env[in] = r;
+      ++idx;
+      continue;
+    }
+    case Opcode::Br:
+      prevBB = bb;
+      bb = in->succ(0);
+      idx = 0;
+      continue;
+    case Opcode::CondBr: {
+      RawValue c;
+      if (!valueOf(in->operand(0), c)) return false;
+      prevBB = bb;
+      bb = c ? in->succ(0) : in->succ(1);
+      idx = 0;
+      continue;
+    }
+    case Opcode::Ret: {
+      if (in->numOperands() == 1) {
+        if (!valueOf(in->operand(0), ret)) return false;
+      } else {
+        ret = 0;
+      }
+      return true;
+    }
+    default:
+      break;
+    }
+
+    // Binary arithmetic and casts.
+    if (in->isBinaryOp()) {
+      RawValue ra, rb;
+      if (!valueOf(in->operand(0), ra) || !valueOf(in->operand(1), rb))
+        return false;
+      Type* t = in->type();
+      if (t->isFloat()) {
+        const double a = bitsToF(ra), b = bitsToF(rb);
+        double r = 0;
+        switch (in->opcode()) {
+        case Opcode::FAdd: r = a + b; break;
+        case Opcode::FSub: r = a - b; break;
+        case Opcode::FMul: r = a * b; break;
+        case Opcode::FDiv: r = a / b; break;
+        default: error = "bad fp op"; return false;
+        }
+        if (t == Type::f32()) r = static_cast<double>(static_cast<float>(r));
+        env[in] = fToBits(r);
+      } else {
+        const std::int64_t a = static_cast<std::int64_t>(ra);
+        const std::int64_t b = static_cast<std::int64_t>(rb);
+        std::int64_t r = 0;
+        switch (in->opcode()) {
+        case Opcode::Add: r = a + b; break;
+        case Opcode::Sub: r = a - b; break;
+        case Opcode::Mul: r = a * b; break;
+        case Opcode::SDiv:
+          if (b == 0) { error = "kernel divide by zero"; return false; }
+          r = a / b;
+          break;
+        case Opcode::SRem:
+          if (b == 0) { error = "kernel divide by zero"; return false; }
+          r = a % b;
+          break;
+        case Opcode::And: r = a & b; break;
+        case Opcode::Or: r = a | b; break;
+        case Opcode::Xor: r = a ^ b; break;
+        case Opcode::Shl: r = a << (b & 63); break;
+        case Opcode::AShr: r = a >> (b & 63); break;
+        default: error = "bad int op"; return false;
+        }
+        if (t == Type::i32())
+          r = static_cast<std::int64_t>(static_cast<std::int32_t>(r));
+        env[in] = static_cast<RawValue>(r);
+      }
+      ++idx;
+      continue;
+    }
+    if (in->isCast()) {
+      RawValue rv;
+      if (!valueOf(in->operand(0), rv)) return false;
+      switch (in->opcode()) {
+      case Opcode::Sext:
+      case Opcode::Zext:
+        env[in] = rv;
+        break;
+      case Opcode::Trunc:
+        env[in] = static_cast<RawValue>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rv)));
+        break;
+      case Opcode::SIToFP: {
+        double r = static_cast<double>(static_cast<std::int64_t>(rv));
+        if (in->type() == Type::f32())
+          r = static_cast<double>(static_cast<float>(r));
+        env[in] = fToBits(r);
+        break;
+      }
+      case Opcode::FPToSI:
+        env[in] = static_cast<RawValue>(
+            static_cast<std::int64_t>(bitsToF(rv)));
+        break;
+      case Opcode::FPExt:
+        env[in] = rv;
+        break;
+      case Opcode::FPTrunc:
+        env[in] =
+            fToBits(static_cast<double>(static_cast<float>(bitsToF(rv))));
+        break;
+      default:
+        error = "bad cast";
+        return false;
+      }
+      ++idx;
+      continue;
+    }
+    error = "unsupported opcode in kernel";
+    return false;
+  }
+}
+
+} // namespace
+
+KernelResult runRecoveryKernel(const ir::Function& kernel,
+                               const std::vector<RawValue>& args,
+                               const vm::Memory& mem) {
+  KernelResult res;
+  if (args.size() != kernel.numArgs()) {
+    res.error = "kernel arity mismatch";
+    return res;
+  }
+  Interp interp(mem);
+  RawValue ret = 0;
+  if (!interp.call(kernel, args, ret, 0)) {
+    res.error = interp.error ? interp.error : "kernel failed";
+    return res;
+  }
+  res.ok = true;
+  res.value = ret;
+  return res;
+}
+
+} // namespace care::core

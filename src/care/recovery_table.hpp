@@ -1,0 +1,82 @@
+// The Recovery Table (paper §3.3, Table 6).
+//
+// Maps each protected memory access instruction — keyed by the MD5 hash of
+// its (file, line, column) debug tuple, exactly the paper's scheme — to the
+// symbol of its recovery kernel and the ordered list of kernel parameters.
+// Serialized to a file by Armor (the paper used protobuf; see DESIGN.md) and
+// lazily deserialized by Safeguard on the first fault.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+#include "support/bytestream.hpp"
+#include "support/md5.hpp"
+
+namespace care::core {
+
+/// Compute the recovery-table key for a debug tuple.
+std::uint64_t recoveryKey(const std::string& file, std::uint32_t line,
+                          std::uint32_t col);
+
+/// Fig. 11 extension ("exploring equivalent computation for induction
+/// variable recovery"): when a kernel parameter is a simple induction
+/// variable i (init i0, step si) and a peer induction variable p
+/// (init p0, step sp) advances in lock step in the same loop, i can be
+/// recomputed from p's uncorrupted value: i = i0 + ((p - p0) / sp) * si.
+struct IvEquivalence {
+  std::string peerName; // the peer's variable-description name
+  std::int64_t selfInit = 0;
+  std::int64_t selfStep = 0;
+  std::int64_t peerInit = 0;
+  std::int64_t peerStep = 0;
+
+  /// Recompute the parameter from the peer's value; false if the peer
+  /// value is inconsistent with lock-step execution.
+  bool recompute(std::int64_t peerVal, std::int64_t& out) const {
+    if (peerStep == 0) return false;
+    const std::int64_t delta = peerVal - peerInit;
+    if (delta % peerStep != 0) return false;
+    out = selfInit + (delta / peerStep) * selfStep;
+    return true;
+  }
+};
+
+struct ParamDesc {
+  std::string name;   // variable-description name, matched against VarLocs
+  ir::Type* type = nullptr;
+  /// Global-variable parameter: Safeguard supplies the global's load
+  /// address instead of reading a register/stack slot (kernels cannot
+  /// reference the process's globals directly — they live in a separate
+  /// module).
+  bool isGlobal = false;
+  /// Set when the parameter is an induction variable with a lock-step peer.
+  bool hasIvAlt = false;
+  IvEquivalence ivAlt;
+};
+
+struct RecoveryEntry {
+  std::string symbol; // kernel function name in the recovery library
+  std::vector<ParamDesc> params;
+};
+
+class RecoveryTable {
+public:
+  void add(std::uint64_t key, RecoveryEntry entry);
+  const RecoveryEntry* find(std::uint64_t key) const;
+  std::size_t size() const { return entries_.size(); }
+
+  void write(ByteWriter& w) const;
+  static RecoveryTable read(ByteReader& r);
+
+  void writeFile(const std::string& path) const;
+  static RecoveryTable readFile(const std::string& path);
+
+private:
+  std::map<std::uint64_t, RecoveryEntry> entries_;
+};
+
+} // namespace care::core

@@ -1,0 +1,303 @@
+#include "care/safeguard.hpp"
+
+#include <cstring>
+
+#include "care/kernel_interp.hpp"
+#include "ir/serialize.hpp"
+
+namespace care::core {
+
+using backend::LocKind;
+using backend::MemRef;
+using backend::MFunction;
+using backend::MInst;
+using backend::VarLoc;
+using vm::Trap;
+using vm::TrapAction;
+using vm::TrapKind;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double usSince(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+} // namespace
+
+void Safeguard::addModule(std::int32_t moduleIdx, ModuleArtifacts artifacts) {
+  modules_[moduleIdx] = std::move(artifacts);
+}
+
+void Safeguard::attach(vm::Executor& ex) {
+  ex.setTrapHook([this](vm::Executor& e, const Trap& t) {
+    return onTrap(e, t);
+  });
+}
+
+TrapAction Safeguard::fail(const std::string& reason,
+                           Clock::time_point t0, const Trap& trap) {
+  RecoveryRecord rec;
+  rec.recovered = false;
+  rec.failReason = reason;
+  rec.totalUs = usSince(t0, Clock::now());
+  rec.pc = trap.pc;
+  rec.faultAddr = trap.addr;
+  stats_.failures[reason]++;
+  stats_.records.push_back(std::move(rec));
+  return TrapAction::Propagate;
+}
+
+TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
+  // CARE targets invalid-memory-access errors (SIGSEGV); everything else
+  // propagates to the default handler (paper §3).
+  if (trap.kind != TrapKind::SegFault) return TrapAction::Propagate;
+  stats_.activations++;
+  const auto t0 = Clock::now();
+
+  const vm::Image& image = *ex.image();
+  const vm::CodeLoc loc = image.locate(trap.pc);
+  if (!loc.valid()) return fail("pc not in any module", t0, trap);
+
+  // dladdr step: per-module artifacts (app keyed by absolute PC range,
+  // libraries by their own base — both implicit in the module lookup).
+  auto ait = modules_.find(loc.module);
+  if (ait == modules_.end()) return fail("module not CARE-compiled", t0, trap);
+
+  // PC -> (file,line,col) -> MD5 key via the line table.
+  const MFunction& fn = image.function(loc);
+  const ir::DebugLoc dl =
+      fn.lineTable[static_cast<std::size_t>(loc.instr)];
+  if (!dl.valid()) return fail("no debug location", t0, trap);
+  const auto& files = image.module(static_cast<std::size_t>(loc.module))
+                          .mod->files;
+  if (dl.file == 0 || dl.file > files.size())
+    return fail("bad debug file id", t0, trap);
+  const std::uint64_t key =
+      recoveryKey(files[dl.file - 1], dl.line, dl.col);
+
+  // Lazy-load the recovery table + library (paper: protobuf decode + dlopen
+  // happen inside the handler; >98% of recovery time is this preparation).
+  LoadedArtifacts* arts;
+  auto lit = loaded_.find(loc.module);
+  if (lit != loaded_.end()) {
+    arts = &lit->second;
+  } else {
+    LoadedArtifacts fresh;
+    try {
+      fresh.table = RecoveryTable::readFile(ait->second.tablePath);
+      fresh.lib = ir::readModuleFile(ait->second.libPath);
+    } catch (const Error&) {
+      return fail("artifact load failed", t0, trap);
+    }
+    arts = &loaded_.emplace(loc.module, std::move(fresh)).first->second;
+  }
+  auto release = [&] {
+    if (!cacheArtifacts_) loaded_.erase(loc.module);
+  };
+
+  const RecoveryEntry* entry = arts->table.find(key);
+  if (!entry) {
+    release();
+    return fail("no recovery kernel for key", t0, trap);
+  }
+  const ir::Function* kernel = arts->lib->findFunction(entry->symbol);
+  if (!kernel) {
+    release();
+    return fail("kernel symbol missing", t0, trap);
+  }
+
+  // Disassemble the faulting instruction; it must have a memory operand.
+  const MInst& inst = image.instruction(loc);
+  if (!inst.accessesMemory()) {
+    release();
+    return fail("faulting instruction has no memory operand", t0, trap);
+  }
+  const MemRef& mem = inst.mem;
+  const auto& lm = image.module(static_cast<std::size_t>(loc.module));
+
+  // Fetch kernel arguments from the stalled process.
+  vm::MachineState& st = ex.state();
+  auto fetchByName = [&](const std::string& name,
+                         RawValue& out) -> bool {
+    const VarLoc* vl = nullptr;
+    for (const VarLoc& cand : fn.varLocs) {
+      if (cand.name == name &&
+          cand.beginIdx <= static_cast<std::uint32_t>(loc.instr) &&
+          static_cast<std::uint32_t>(loc.instr) < cand.endIdx) {
+        vl = &cand;
+        break;
+      }
+    }
+    if (!vl) return false;
+    switch (vl->kind) {
+    case LocKind::GReg:
+      out = st.g[vl->regOrOffset];
+      return true;
+    case LocKind::FReg:
+      std::memcpy(&out, &st.f[vl->regOrOffset], 8);
+      return true;
+    case LocKind::FrameSlot: {
+      const std::uint64_t addr =
+          st.g[backend::kFP] + static_cast<std::int64_t>(vl->regOrOffset);
+      return ex.memory().readBytes(addr, &out, 8);
+    }
+    case LocKind::FrameAddr:
+      out = st.g[backend::kFP] + static_cast<std::int64_t>(vl->regOrOffset);
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<RawValue> args;
+  args.reserve(entry->params.size());
+  // Fig. 11 extension: parameters recomputable from a lock-step peer.
+  struct AltArg {
+    std::size_t index;
+    RawValue value;
+  };
+  std::vector<AltArg> altArgs;
+  for (const ParamDesc& p : entry->params) {
+    if (p.isGlobal) {
+      bool found = false;
+      for (std::size_t gi = 0; gi < lm.mod->globals.size(); ++gi) {
+        if (lm.mod->globals[gi].name == p.name) {
+          args.push_back(lm.globalAddr[gi]);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        release();
+        return fail("global parameter not found", t0, trap);
+      }
+      continue;
+    }
+    // Pre-compute the induction-variable alternative, if any.
+    RawValue altValue = 0;
+    bool haveAlt = false;
+    if (p.hasIvAlt) {
+      RawValue peer;
+      std::int64_t recomputed;
+      if (fetchByName(p.ivAlt.peerName, peer) &&
+          p.ivAlt.recompute(static_cast<std::int64_t>(peer), recomputed)) {
+        altValue = static_cast<RawValue>(recomputed);
+        haveAlt = true;
+      }
+    }
+    RawValue v;
+    if (!fetchByName(p.name, v)) {
+      if (haveAlt) {
+        // Location lost, but the peer relation reconstructs the value.
+        args.push_back(altValue);
+        continue;
+      }
+      // The paper's live-range limitation: the value is not available in
+      // any register or stack slot at this PC. (Build the message before
+      // release() frees the table entry `p` lives in.)
+      std::string reason = "parameter location unavailable: " + p.name;
+      release();
+      return fail(reason, t0, trap);
+    }
+    if (haveAlt && altValue != v)
+      altArgs.push_back({args.size(), altValue});
+    args.push_back(v);
+  }
+
+  // Execute the recovery kernel (timed separately: Fig. 9 shows its share
+  // of recovery time is negligible).
+  const auto tK = Clock::now();
+  KernelResult kres = runRecoveryKernel(*kernel, args, ex.memory());
+  double kernelUs = usSince(tK, Clock::now());
+  if (!kres.ok) {
+    release();
+    return fail(std::string("kernel failed: ") + kres.error, t0, trap);
+  }
+  std::uint64_t newAddr = kres.value;
+  bool usedIvAlt = false;
+
+  // §3.4: if the recomputed address equals the faulting one, the kernel's
+  // inputs were contaminated too — declaring non-recoverable here is what
+  // guarantees CARE never substitutes an SDC for a crash. The Fig. 11
+  // extension adds one more attempt: a contaminated *induction variable*
+  // parameter can be recomputed from its lock-step peer and the kernel
+  // re-run with the substituted value.
+  if (newAddr == trap.addr) {
+    for (const AltArg& alt : altArgs) {
+      std::vector<RawValue> retryArgs = args;
+      retryArgs[alt.index] = alt.value;
+      const auto tK2 = Clock::now();
+      const KernelResult retry =
+          runRecoveryKernel(*kernel, retryArgs, ex.memory());
+      kernelUs += usSince(tK2, Clock::now());
+      if (retry.ok && retry.value != trap.addr) {
+        newAddr = retry.value;
+        usedIvAlt = true;
+        stats_.ivAltRecoveries++;
+        break;
+      }
+    }
+    if (!usedIvAlt) {
+      release();
+      return fail("recomputed address equals faulting address", t0, trap);
+    }
+  }
+
+  // Patch the operand: prefer the index register (paper's default), fall
+  // back to the base register. Never patch the frame/stack pointers.
+  const std::uint64_t gaddr =
+      mem.globalIdx >= 0
+          ? lm.globalAddr[static_cast<std::size_t>(mem.globalIdx)]
+          : 0;
+  const std::uint64_t baseVal =
+      mem.base != backend::kNoReg ? st.g[mem.base] : 0;
+  const std::uint64_t indexVal =
+      mem.index != backend::kNoReg ? st.g[mem.index] : 0;
+  const std::int64_t disp = mem.disp;
+
+  bool patched = false;
+  auto patchIndex = [&] {
+    if (patched || mem.index == backend::kNoReg) return;
+    const std::int64_t numer = static_cast<std::int64_t>(
+        newAddr - gaddr - baseVal - static_cast<std::uint64_t>(disp));
+    if (numer % mem.scale == 0) {
+      st.g[mem.index] = static_cast<std::uint64_t>(numer / mem.scale);
+      patched = true;
+    }
+  };
+  auto patchBase = [&] {
+    if (patched || mem.base == backend::kNoReg ||
+        mem.base == backend::kFP || mem.base == backend::kSP)
+      return;
+    st.g[mem.base] = newAddr - gaddr - indexVal * mem.scale -
+                     static_cast<std::uint64_t>(disp);
+    patched = true;
+  };
+  if (patchTarget_ == PatchTarget::IndexFirst) {
+    patchIndex();
+    patchBase();
+  } else {
+    patchBase();
+    patchIndex();
+  }
+  if (!patched) {
+    release();
+    return fail("no patchable address operand", t0, trap);
+  }
+
+  RecoveryRecord rec;
+  rec.recovered = true;
+  rec.usedIvAlt = usedIvAlt;
+  rec.kernelUs = kernelUs;
+  rec.pc = trap.pc;
+  rec.faultAddr = trap.addr;
+  rec.patchedAddr = newAddr;
+  release();
+  rec.totalUs = usSince(t0, Clock::now());
+  stats_.recovered++;
+  stats_.records.push_back(std::move(rec));
+  return TrapAction::Retry;
+}
+
+} // namespace care::core

@@ -1,0 +1,98 @@
+// Safeguard: CARE's runtime recovery service (paper §3.4, Algorithm 1).
+//
+// Attached to an Executor as its trap hook — the analogue of installing a
+// SIGSEGV handler via LD_PRELOAD. Dormant until a fault arrives; then it:
+//   1. locates the faulting PC (dladdr analogue: which module?),
+//   2. maps PC -> (file,line,col) through the module's line table and
+//      MD5-hashes the tuple into the Recovery Table key,
+//   3. lazily loads the Recovery Table and the recovery library (both
+//      deserialized from files, exactly the paper's dlopen-on-demand cost
+//      structure; both are released again after the repair),
+//   4. fetches kernel arguments out of the stalled machine state using
+//      DWARF-style variable locations (register / frame slot / frame addr),
+//   5. executes the recovery kernel to recompute the intended address,
+//   6. refuses to patch if the recomputed address equals the faulting one
+//      (kernel inputs were themselves contaminated -> no SDC substitution),
+//   7. disassembles the faulting instruction's memory operand and patches
+//      the index register (base register as fallback), then resumes.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "care/recovery_table.hpp"
+#include "ir/module.hpp"
+#include "vm/executor.hpp"
+
+namespace care::core {
+
+/// Files produced by Armor for one module (see driver.hpp).
+struct ModuleArtifacts {
+  std::string tablePath;
+  std::string libPath;
+};
+
+/// One Safeguard activation (a single trap), for Fig. 9's timing breakdown.
+struct RecoveryRecord {
+  bool recovered = false;
+  std::string failReason;        // empty when recovered
+  double totalUs = 0;            // wall time of the whole activation
+  double kernelUs = 0;           // time inside the recovery kernel
+  bool usedIvAlt = false;        // Fig. 11 peer-recomputation used
+  std::uint64_t pc = 0;
+  std::uint64_t faultAddr = 0;
+  std::uint64_t patchedAddr = 0;
+};
+
+struct SafeguardStats {
+  std::uint64_t activations = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t ivAltRecoveries = 0; // Fig. 11 extension successes
+  std::map<std::string, std::uint64_t> failures; // reason -> count
+  std::vector<RecoveryRecord> records;
+};
+
+class Safeguard {
+public:
+  /// Register Armor's artifacts for module `moduleIdx` of the image.
+  void addModule(std::int32_t moduleIdx, ModuleArtifacts artifacts);
+
+  /// Keep table/library resident between activations instead of releasing
+  /// them (paper default: release, trading repeat load cost for the fixed
+  /// 27 MB memory budget).
+  void setCacheArtifacts(bool v) { cacheArtifacts_ = v; }
+
+  /// Which register of a base+index*scale operand to patch first. The paper
+  /// defaults to the index register ("computed more frequently ... more
+  /// likely to experience faults", §3.4); BaseFirst is the ablation.
+  enum class PatchTarget : std::uint8_t { IndexFirst, BaseFirst };
+  void setPatchTarget(PatchTarget t) { patchTarget_ = t; }
+
+  /// Install as `ex`'s trap hook. The Safeguard must outlive the executor's
+  /// run.
+  void attach(vm::Executor& ex);
+
+  const SafeguardStats& stats() const { return stats_; }
+
+private:
+  struct LoadedArtifacts {
+    RecoveryTable table;
+    std::unique_ptr<ir::Module> lib;
+  };
+
+  vm::TrapAction onTrap(vm::Executor& ex, const vm::Trap& trap);
+  vm::TrapAction fail(const std::string& reason,
+                      std::chrono::steady_clock::time_point t0,
+                      const vm::Trap& trap);
+
+  std::map<std::int32_t, ModuleArtifacts> modules_;
+  std::map<std::int32_t, LoadedArtifacts> loaded_;
+  bool cacheArtifacts_ = false;
+  PatchTarget patchTarget_ = PatchTarget::IndexFirst;
+  SafeguardStats stats_;
+};
+
+} // namespace care::core

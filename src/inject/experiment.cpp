@@ -1,0 +1,237 @@
+#include "inject/experiment.hpp"
+
+#include <array>
+#include <filesystem>
+
+#include "support/bytestream.hpp"
+#include "support/error.hpp"
+#include "support/md5.hpp"
+
+namespace care::inject {
+
+namespace {
+
+constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
+constexpr std::uint32_t kCacheVersion = 5;
+
+std::string cachePath(const std::string& workload,
+                      const ExperimentConfig& cfg) {
+  Md5 h;
+  h.update(workload);
+  h.update(cfg.level == opt::OptLevel::O0 ? "O0" : "O1");
+  const std::uint64_t nums[] = {cfg.bits, cfg.seed,
+                                static_cast<std::uint64_t>(cfg.injections),
+                                cfg.careOnSegv ? 1u : 0u,
+                                cfg.armor.requireNonLocalUse ? 1u : 0u,
+                                cfg.armor.maximalSlicing ? 1u : 0u,
+                                cfg.patchBaseFirst ? 1u : 0u,
+                                cfg.armor.inductionRecovery ? 1u : 0u,
+                                kCacheVersion};
+  h.update(nums, sizeof(nums));
+  return cfg.cacheDir + "/exp_" + workload + "_" +
+         (cfg.level == opt::OptLevel::O0 ? "O0" : "O1") + "_" +
+         h.finish().hex().substr(0, 12) + ".camp";
+}
+
+void writeResult(const ExperimentResult& r, const std::string& path) {
+  ByteWriter w;
+  w.u32(kCacheMagic);
+  w.u32(kCacheVersion);
+  w.str(r.workload);
+  w.u8(r.level == opt::OptLevel::O0 ? 0 : 1);
+  w.u64(r.goldenInstrs);
+  w.u32(static_cast<std::uint32_t>(r.records.size()));
+  auto putResult = [&](const InjectionResult& ir) {
+    w.u8(static_cast<std::uint8_t>(ir.outcome));
+    w.u8(static_cast<std::uint8_t>(ir.signal));
+    w.u64(ir.latencyInstrs);
+    w.u8(ir.injected ? 1 : 0);
+    w.u8(ir.survived ? 1 : 0);
+    w.u8(ir.careRecovered ? 1 : 0);
+    w.u64(ir.safeguardActivations);
+    w.u64(ir.ivAltRecoveries);
+    w.f64(ir.recoveryUsTotal);
+    w.f64(ir.kernelUsTotal);
+    w.u8(ir.outputMatchesGolden ? 1 : 0);
+    w.str(ir.careFailReason);
+  };
+  for (const InjectionRecord& rec : r.records) {
+    w.u32(static_cast<std::uint32_t>(rec.point.loc.module));
+    w.u32(static_cast<std::uint32_t>(rec.point.loc.func));
+    w.u32(static_cast<std::uint32_t>(rec.point.loc.instr));
+    w.u64(rec.point.nth);
+    w.u32(static_cast<std::uint32_t>(rec.point.bits.size()));
+    for (unsigned b : rec.point.bits) w.u32(b);
+    putResult(rec.plain);
+    w.u8(rec.haveCare ? 1 : 0);
+    if (rec.haveCare) putResult(rec.withCare);
+  }
+  w.writeFile(path);
+}
+
+std::optional<ExperimentResult> readResult(const std::string& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  try {
+    ByteReader r = ByteReader::fromFile(path);
+    if (r.u32() != kCacheMagic || r.u32() != kCacheVersion)
+      return std::nullopt;
+    ExperimentResult out;
+    out.workload = r.str();
+    out.level = r.u8() == 0 ? opt::OptLevel::O0 : opt::OptLevel::O1;
+    out.goldenInstrs = r.u64();
+    const std::uint32_t n = r.u32();
+    auto getResult = [&](InjectionResult& ir) {
+      ir.outcome = static_cast<Outcome>(r.u8());
+      ir.signal = static_cast<vm::TrapKind>(r.u8());
+      ir.latencyInstrs = r.u64();
+      ir.injected = r.u8() != 0;
+      ir.survived = r.u8() != 0;
+      ir.careRecovered = r.u8() != 0;
+      ir.safeguardActivations = r.u64();
+      ir.ivAltRecoveries = r.u64();
+      ir.recoveryUsTotal = r.f64();
+      ir.kernelUsTotal = r.f64();
+      ir.outputMatchesGolden = r.u8() != 0;
+      ir.careFailReason = r.str();
+    };
+    for (std::uint32_t i = 0; i < n; ++i) {
+      InjectionRecord rec;
+      rec.point.loc.module = static_cast<std::int32_t>(r.u32());
+      rec.point.loc.func = static_cast<std::int32_t>(r.u32());
+      rec.point.loc.instr = static_cast<std::int32_t>(r.u32());
+      rec.point.nth = r.u64();
+      const std::uint32_t nb = r.u32();
+      for (std::uint32_t b = 0; b < nb; ++b)
+        rec.point.bits.push_back(r.u32());
+      getResult(rec.plain);
+      rec.haveCare = r.u8() != 0;
+      if (rec.haveCare) getResult(rec.withCare);
+      out.records.push_back(std::move(rec));
+    }
+    return out;
+  } catch (const Error&) {
+    return std::nullopt; // stale/corrupt cache: regenerate
+  }
+}
+
+} // namespace
+
+int ExperimentResult::count(Outcome o) const {
+  int n = 0;
+  for (const auto& r : records)
+    if (r.plain.outcome == o) ++n;
+  return n;
+}
+
+int ExperimentResult::countSignal(vm::TrapKind k) const {
+  int n = 0;
+  for (const auto& r : records)
+    if (r.plain.outcome == Outcome::SoftFailure && r.plain.signal == k) ++n;
+  return n;
+}
+
+int ExperimentResult::recoveredCount() const {
+  int n = 0;
+  for (const auto& r : records)
+    if (r.haveCare && r.withCare.careRecovered) ++n;
+  return n;
+}
+
+double ExperimentResult::coverage() const {
+  const int segv = segvCount();
+  return segv > 0 ? double(recoveredCount()) / segv : 0.0;
+}
+
+std::array<int, 4> ExperimentResult::latencyBuckets() const {
+  std::array<int, 4> out{};
+  for (const auto& r : records) {
+    if (r.plain.outcome != Outcome::SoftFailure) continue;
+    const std::uint64_t l = r.plain.latencyInstrs;
+    if (l <= 10) ++out[0];
+    else if (l <= 50) ++out[1];
+    else if (l <= 400) ++out[2];
+    else ++out[3];
+  }
+  return out;
+}
+
+double ExperimentResult::meanRecoveryUs() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.haveCare && r.withCare.careRecovered) {
+      sum += r.withCare.recoveryUsTotal;
+      ++n;
+    }
+  }
+  return n ? sum / n : 0;
+}
+
+double ExperimentResult::meanKernelUs() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.haveCare && r.withCare.careRecovered) {
+      sum += r.withCare.kernelUsTotal;
+      ++n;
+    }
+  }
+  return n ? sum / n : 0;
+}
+
+BuiltWorkload buildWorkload(const workloads::Workload& w,
+                            const ExperimentConfig& cfg) {
+  core::CompileOptions copts;
+  copts.optLevel = cfg.level;
+  copts.armor = cfg.armor;
+  copts.artifactDir = cfg.cacheDir;
+  BuiltWorkload b;
+  const std::string tag =
+      w.name + (cfg.level == opt::OptLevel::O0 ? "_O0" : "_O1") +
+      (cfg.armor.maximalSlicing ? "_max" : "") +
+      (cfg.armor.requireNonLocalUse ? "" : "_nlu0");
+  b.cm = core::careCompile(w.sources, tag, copts);
+  b.image = std::make_unique<vm::Image>();
+  b.image->load(b.cm.mmod.get());
+  b.image->link();
+  b.artifacts[0] = b.cm.artifacts;
+  return b;
+}
+
+ExperimentResult runExperiment(const workloads::Workload& w,
+                               const ExperimentConfig& cfg) {
+  std::filesystem::create_directories(cfg.cacheDir);
+  const std::string path = cachePath(w.name, cfg);
+  if (auto cached = readResult(path)) return std::move(*cached);
+
+  BuiltWorkload built = buildWorkload(w, cfg);
+  CampaignConfig ccfg;
+  ccfg.seed = cfg.seed;
+  ccfg.bitsToFlip = cfg.bits;
+  ccfg.hangFactor = 4;
+  if (cfg.patchBaseFirst)
+    ccfg.patchTarget = core::Safeguard::PatchTarget::BaseFirst;
+  Campaign campaign(built.image.get(), ccfg);
+  if (!campaign.profile()) raise("workload failed to profile: " + w.name);
+
+  ExperimentResult out;
+  out.workload = w.name;
+  out.level = cfg.level;
+  out.goldenInstrs = campaign.goldenInstrs();
+  Rng rng(cfg.seed);
+  for (int i = 0; i < cfg.injections; ++i) {
+    InjectionRecord rec;
+    rec.point = campaign.sample(rng);
+    rec.plain = campaign.runInjection(rec.point);
+    if (cfg.careOnSegv && rec.plain.outcome == Outcome::SoftFailure &&
+        rec.plain.signal == vm::TrapKind::SegFault) {
+      rec.haveCare = true;
+      rec.withCare = campaign.runInjection(rec.point, &built.artifacts);
+    }
+    out.records.push_back(std::move(rec));
+  }
+  writeResult(out, path);
+  return out;
+}
+
+} // namespace care::inject

@@ -1,0 +1,75 @@
+// Campaign orchestration + result caching for the evaluation harness.
+//
+// Every table/figure bench needs the same expensive artifact: a seeded
+// injection campaign over a workload at a given opt level and bit-flip
+// count, optionally re-running each SIGSEGV injection with CARE attached.
+// runExperiment() produces that deterministically and caches the records on
+// disk (keyed by workload/level/bits/seed/count), so regenerating one table
+// doesn't re-pay for campaigns another table already ran.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "inject/injector.hpp"
+#include "workloads/workloads.hpp"
+
+namespace care::inject {
+
+struct ExperimentConfig {
+  opt::OptLevel level = opt::OptLevel::O0;
+  unsigned bits = 1;          // bit flips per injection
+  std::uint64_t seed = 2026;
+  int injections = 400;       // paper: 10000 (Tables 2-4) / 1000-2000 (Fig 7)
+  bool careOnSegv = true;     // re-run SIGSEGV injections with CARE attached
+  std::string cacheDir = "care_artifacts";
+  core::ArmorOptions armor;   // ablation knobs participate in the cache key
+  bool patchBaseFirst = false; // Safeguard patch-heuristic ablation
+};
+
+/// One injection's record: the plain outcome plus (for SIGSEGV injections
+/// when careOnSegv) the CARE-attached outcome.
+struct InjectionRecord {
+  InjectionPoint point;
+  InjectionResult plain;
+  bool haveCare = false;
+  InjectionResult withCare;
+};
+
+struct ExperimentResult {
+  std::string workload;
+  opt::OptLevel level;
+  std::vector<InjectionRecord> records;
+  std::uint64_t goldenInstrs = 0;
+
+  // --- aggregations used by the table benches ------------------------------
+  int count(Outcome o) const;
+  int countSignal(vm::TrapKind k) const;             // among soft failures
+  int segvCount() const { return countSignal(vm::TrapKind::SegFault); }
+  int recoveredCount() const;                        // CARE coverage numerator
+  double coverage() const;                           // recovered / segv
+  /// Latency histogram over soft failures: <=10, 11-50, 51-400, >400.
+  std::array<int, 4> latencyBuckets() const;
+  /// Mean Safeguard time per recovered injection, microseconds.
+  double meanRecoveryUs() const;
+  double meanKernelUs() const;
+};
+
+/// Compile `w` with CARE per cfg, then run (or load from cache) the
+/// campaign. Throws care::Error if the workload cannot be profiled.
+ExperimentResult runExperiment(const workloads::Workload& w,
+                               const ExperimentConfig& cfg);
+
+/// Also expose the compile step so compile-stat benches (Tables 5/8) share
+/// the flow without a campaign.
+struct BuiltWorkload {
+  core::CompiledModule cm;
+  std::unique_ptr<vm::Image> image;
+  std::map<std::int32_t, core::ModuleArtifacts> artifacts;
+};
+BuiltWorkload buildWorkload(const workloads::Workload& w,
+                            const ExperimentConfig& cfg);
+
+} // namespace care::inject

@@ -1,0 +1,210 @@
+#include "inject/injector.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/bitutil.hpp"
+#include "support/error.hpp"
+
+namespace care::inject {
+
+using backend::MInst;
+using backend::MOp;
+using vm::CodeLoc;
+using vm::Executor;
+
+const char* outcomeName(Outcome o) {
+  switch (o) {
+  case Outcome::Benign: return "Benign";
+  case Outcome::SoftFailure: return "SoftFailure";
+  case Outcome::SDC: return "SDC";
+  case Outcome::Hang: return "Hang";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Destination operand classification: (hasDest, isFPReg, isMemory).
+struct DestInfo {
+  bool has = false;
+  bool fpReg = false;
+  bool memory = false;
+};
+
+DestInfo destOf(const MInst& in) {
+  switch (in.op) {
+  case MOp::Store:
+    return {true, false, true};
+  case MOp::Mov: case MOp::MovImm: case MOp::Lea:
+  case MOp::IAdd: case MOp::ISub: case MOp::IMul: case MOp::IDiv:
+  case MOp::IRem: case MOp::IAnd: case MOp::IOr: case MOp::IXor:
+  case MOp::IShl: case MOp::IAshr: case MOp::Sext32: case MOp::IAluMem:
+  case MOp::SetCmp: case MOp::FSetCmp: case MOp::CvtFToSi:
+    return {true, false, false};
+  case MOp::FMov: case MOp::FMovImm:
+  case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+  case MOp::FAluMem: case MOp::CvtSiToF: case MOp::CvtF32F64:
+  case MOp::CvtF64F32: case MOp::MathCall:
+    return {true, true, false};
+  case MOp::Load:
+    return {true, backend::mtypeIsFP(in.mem.type), false};
+  default:
+    return {};
+  }
+}
+
+} // namespace
+
+bool Campaign::injectable(const MInst& in) { return destOf(in).has; }
+
+void Campaign::corruptDestination(Executor& ex, const CodeLoc& loc,
+                                  const std::vector<unsigned>& bits) {
+  const MInst& in = ex.image()->instruction(loc);
+  const DestInfo d = destOf(in);
+  CARE_ASSERT(d.has, "injection at instruction without destination");
+  if (d.memory) {
+    // Recompute the store's effective address and flip bits in the cell.
+    const backend::MemRef& m = in.mem;
+    std::uint64_t a = static_cast<std::uint64_t>(m.disp);
+    if (m.globalIdx >= 0)
+      a += ex.image()
+               ->module(static_cast<std::size_t>(loc.module))
+               .globalAddr[static_cast<std::size_t>(m.globalIdx)];
+    if (m.base != backend::kNoReg) a += ex.state().g[m.base];
+    if (m.index != backend::kNoReg) a += ex.state().g[m.index] * m.scale;
+    const unsigned size = backend::mtypeSize(m.type);
+    std::uint8_t buf[8] = {};
+    if (!ex.memory().readBytes(a, buf, size)) return; // store itself trapped
+    for (unsigned b : bits) flipBitBuffer(buf, size, b % (size * 8));
+    ex.memory().writeBytes(a, buf, size);
+    return;
+  }
+  if (d.fpReg) {
+    double& v = ex.state().f[in.dst];
+    for (unsigned b : bits) v = flipBitF64(v, b);
+    return;
+  }
+  std::uint64_t& v = ex.state().g[in.dst];
+  for (unsigned b : bits) v = flipBit(v, b);
+}
+
+Campaign::Campaign(const vm::Image* image, CampaignConfig cfg)
+    : image_(image), cfg_(std::move(cfg)) {}
+
+bool Campaign::profile() {
+  Executor ex(image_);
+  ex.enableProfiling();
+  ex.setBudget(2'000'000'000ull);
+  const vm::RunResult res = vm::runToCompletion(ex, cfg_.entry);
+  if (res.status != vm::RunStatus::Done) return false;
+  goldenInstrs_ = res.instrCount;
+  goldenOutput_ = ex.output();
+
+  sites_.clear();
+  counts_.clear();
+  cumulative_.clear();
+  totalWeight_ = 0;
+  for (std::int32_t m : cfg_.targetModules) {
+    const auto& fns = image_->module(static_cast<std::size_t>(m)).mod->functions;
+    for (std::size_t f = 0; f < fns.size(); ++f) {
+      for (std::size_t i = 0; i < fns[f].code.size(); ++i) {
+        if (!injectable(fns[f].code[i])) continue;
+        const CodeLoc loc{m, static_cast<std::int32_t>(f),
+                          static_cast<std::int32_t>(i)};
+        const std::uint64_t count = ex.profileCount(loc);
+        if (count == 0) continue;
+        sites_.push_back(loc);
+        counts_.push_back(count);
+        totalWeight_ += count;
+        cumulative_.push_back(totalWeight_);
+      }
+    }
+  }
+  return totalWeight_ > 0;
+}
+
+InjectionPoint Campaign::sample(Rng& rng) const {
+  CARE_ASSERT(totalWeight_ > 0, "profile() must succeed before sample()");
+  const std::uint64_t r = rng.below(totalWeight_);
+  // First cumulative strictly greater than r.
+  std::size_t lo = 0, hi = cumulative_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cumulative_[mid] <= r) lo = mid + 1;
+    else hi = mid;
+  }
+  InjectionPoint pt;
+  pt.loc = sites_[lo];
+  pt.nth = 1 + rng.below(counts_[lo]);
+  pt.bits.push_back(static_cast<unsigned>(rng.below(64)));
+  for (unsigned extra = 1; extra < cfg_.bitsToFlip; ++extra) {
+    unsigned b;
+    do {
+      b = static_cast<unsigned>(rng.below(64));
+    } while (std::find(pt.bits.begin(), pt.bits.end(), b) != pt.bits.end());
+    pt.bits.push_back(b);
+  }
+  return pt;
+}
+
+InjectionResult Campaign::runInjection(
+    const InjectionPoint& pt,
+    const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts) const {
+  InjectionResult res;
+  Executor ex(image_);
+  ex.setBudget(goldenInstrs_ * cfg_.hangFactor + 1'000'000);
+  std::unique_ptr<core::Safeguard> safeguard;
+  if (careArtifacts) {
+    safeguard = std::make_unique<core::Safeguard>();
+    safeguard->setPatchTarget(cfg_.patchTarget);
+    for (const auto& [mi, arts] : *careArtifacts)
+      safeguard->addModule(mi, arts);
+    safeguard->attach(ex);
+  }
+
+  std::uint64_t injAt = 0;
+  bool fired = false;
+  ex.armInjection(pt.loc, pt.nth, [&](Executor& e) {
+    injAt = e.instrCount();
+    fired = true;
+    corruptDestination(e, pt.loc, pt.bits);
+  });
+
+  const vm::RunResult run = vm::runToCompletion(ex, cfg_.entry);
+  res.injected = fired;
+
+  switch (run.status) {
+  case vm::RunStatus::Done:
+    res.survived = true;
+    res.outputMatchesGolden = ex.output() == goldenOutput_;
+    res.outcome = res.outputMatchesGolden ? Outcome::Benign : Outcome::SDC;
+    break;
+  case vm::RunStatus::Trapped:
+    res.outcome = Outcome::SoftFailure;
+    res.signal = run.trap.kind;
+    res.latencyInstrs = fired ? run.instrCount - injAt : 0;
+    break;
+  case vm::RunStatus::BudgetExceeded:
+    res.outcome = Outcome::Hang;
+    break;
+  case vm::RunStatus::Yielded:
+    CARE_UNREACHABLE("runToCompletion cannot yield");
+  }
+
+  if (careArtifacts) {
+    const core::SafeguardStats& st = safeguard->stats();
+    res.safeguardActivations = st.activations;
+    res.ivAltRecoveries = st.ivAltRecoveries;
+    res.careRecovered = st.recovered > 0 && res.survived;
+    for (const core::RecoveryRecord& r : st.records) {
+      res.recoveryUsTotal += r.totalUs;
+      res.kernelUsTotal += r.kernelUs;
+      if (!r.recovered && res.careFailReason.empty())
+        res.careFailReason = r.failReason;
+    }
+  }
+  return res;
+}
+
+} // namespace care::inject

@@ -1,0 +1,110 @@
+// Instruction-level fault injector (paper §2.1.1 and §5.1).
+//
+// Faults are single- or double-bit flips in the *destination operand* of a
+// dynamic instruction, injected right after the instruction executes. A
+// dynamic instruction is addressed the way the paper's Pin-based tool does
+// it: profile the execution count of every static instruction, pick a
+// static instruction weighted by its count, then pick the n-th execution
+// uniformly. Outcomes are classified as Benign / SoftFailure / SDC / Hang
+// against a golden run; with CARE attached, the campaign additionally
+// reports whether Safeguard recovered the process.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "care/safeguard.hpp"
+#include "support/rng.hpp"
+#include "vm/executor.hpp"
+
+namespace care::inject {
+
+enum class Outcome : std::uint8_t { Benign, SoftFailure, SDC, Hang };
+
+const char* outcomeName(Outcome o);
+
+/// Where and when to inject: after the `nth` execution of the static
+/// instruction at `loc`, flip `bits` (1 or 2 distinct bit positions).
+struct InjectionPoint {
+  vm::CodeLoc loc;
+  std::uint64_t nth = 1;
+  std::vector<unsigned> bits;
+};
+
+struct InjectionResult {
+  Outcome outcome = Outcome::Benign;
+  vm::TrapKind signal = vm::TrapKind::SegFault; // valid for SoftFailure
+  std::uint64_t latencyInstrs = 0; // injection -> trap (SoftFailure only)
+  bool injected = false;           // the point was actually reached
+  // CARE-specific:
+  bool survived = false;              // run completed (with CARE attached)
+  bool careRecovered = false;         // >=1 successful Safeguard repair
+  std::uint64_t safeguardActivations = 0;
+  std::uint64_t ivAltRecoveries = 0;  // Fig. 11 extension successes
+  double recoveryUsTotal = 0;         // sum over activations
+  double kernelUsTotal = 0;           // time inside recovery kernels
+  bool outputMatchesGolden = false;
+  std::string careFailReason;         // first Safeguard failure, if any
+};
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  unsigned bitsToFlip = 1;            // 1 = Table 2-4, 2 = Tables 10/11
+  std::uint64_t hangFactor = 10;      // budget = hangFactor * golden instrs
+  std::set<std::int32_t> targetModules{0}; // app only, per §5.1
+  std::string entry = "main";
+  /// Safeguard patch heuristic (ablation; paper default: index first).
+  core::Safeguard::PatchTarget patchTarget =
+      core::Safeguard::PatchTarget::IndexFirst;
+};
+
+/// Drives golden profiling, injection sampling, and injected runs over one
+/// loaded Image.
+class Campaign {
+public:
+  Campaign(const vm::Image* image, CampaignConfig cfg);
+
+  /// Golden (fault-free) profiling run. Must be called once before sampling
+  /// or injecting. Returns false if the program itself fails.
+  bool profile();
+
+  std::uint64_t goldenInstrs() const { return goldenInstrs_; }
+  const std::vector<std::uint64_t>& goldenOutput() const {
+    return goldenOutput_;
+  }
+
+  /// Sample an injection point: execution-weighted static instruction with
+  /// a destination operand, uniform dynamic occurrence, random bit(s).
+  InjectionPoint sample(Rng& rng) const;
+
+  /// Run one injection. When `careArtifacts` is non-null a fresh Safeguard
+  /// is constructed with those per-module artifacts and attached (the
+  /// CARE-enabled configuration).
+  InjectionResult runInjection(
+      const InjectionPoint& pt,
+      const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts =
+          nullptr) const;
+
+  /// Does this MIR instruction have an injectable destination operand?
+  static bool injectable(const backend::MInst& in);
+
+  /// Flip `bits` of the destination operand of the instruction at `loc`
+  /// in executor `ex` (called by the armed-injection hook).
+  static void corruptDestination(vm::Executor& ex, const vm::CodeLoc& loc,
+                                 const std::vector<unsigned>& bits);
+
+private:
+  const vm::Image* image_;
+  CampaignConfig cfg_;
+  std::uint64_t goldenInstrs_ = 0;
+  std::vector<std::uint64_t> goldenOutput_;
+  // Sampling table: injectable static instructions + cumulative exec counts.
+  std::vector<vm::CodeLoc> sites_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> cumulative_;
+  std::uint64_t totalWeight_ = 0;
+};
+
+} // namespace care::inject

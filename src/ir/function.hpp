@@ -1,0 +1,80 @@
+// CARE-IR functions and the attributes Armor's call classification needs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basicblock.hpp"
+
+namespace care::ir {
+
+class Module;
+
+class Function : public Value {
+public:
+  Function(std::string name, Type* retType, std::vector<Type*> paramTypes,
+           Module* parent);
+
+  /// Drop all operand edges before any instruction is destroyed, so
+  /// destructors never unregister uses on already-freed values (cross-block
+  /// and phi cycles make any single destruction order unsafe otherwise).
+  ~Function() override {
+    for (auto& bb : blocks_)
+      for (Instruction* in : *bb) in->dropOperands();
+  }
+
+  Module* parent() const { return parent_; }
+  Type* returnType() const { return retType_; }
+
+  // --- arguments ----------------------------------------------------------
+  unsigned numArgs() const { return static_cast<unsigned>(args_.size()); }
+  Argument* arg(unsigned i) const { return args_[i].get(); }
+  void setArgName(unsigned i, std::string n) { args_[i]->setName(std::move(n)); }
+
+  // --- blocks -------------------------------------------------------------
+  bool isDeclaration() const { return blocks_.empty(); }
+  std::size_t numBlocks() const { return blocks_.size(); }
+  BasicBlock* block(std::size_t i) const { return blocks_[i].get(); }
+  BasicBlock* entry() const { return blocks_.front().get(); }
+  BasicBlock* addBlock(std::string name);
+  /// Remove and destroy block `idx` (must already be unreferenced).
+  void eraseBlock(std::size_t idx);
+  std::size_t indexOfBlock(const BasicBlock* bb) const;
+
+  struct Iter {
+    const std::vector<std::unique_ptr<BasicBlock>>* v;
+    std::size_t i;
+    BasicBlock* operator*() const { return (*v)[i].get(); }
+    Iter& operator++() { ++i; return *this; }
+    bool operator!=(const Iter& o) const { return i != o.i; }
+  };
+  Iter begin() const { return {&blocks_, 0}; }
+  Iter end() const { return {&blocks_, blocks_.size()}; }
+
+  // --- attributes (drive Armor's CallInst classification, §3.2) -----------
+  /// A "simple" callee: pure math on its arguments, updates no globals, no
+  /// pointer arguments, allocates nothing. Armor treats calls to such
+  /// functions like ordinary binary operators and clones the call into
+  /// recovery kernels.
+  bool isSimpleCall() const { return simpleCall_; }
+  void setSimpleCall(bool v) { simpleCall_ = v; }
+
+  /// Built-in math intrinsic (sqrt, fabs, ...) executed natively by the VM.
+  bool isIntrinsic() const { return intrinsic_; }
+  void setIntrinsic(bool v) { intrinsic_ = v; }
+
+  /// Fresh value-name counter for IRBuilder auto-naming.
+  unsigned nextValueId() { return valueId_++; }
+
+private:
+  Module* parent_;
+  Type* retType_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  bool simpleCall_ = false;
+  bool intrinsic_ = false;
+  unsigned valueId_ = 0;
+};
+
+} // namespace care::ir

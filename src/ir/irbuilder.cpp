@@ -1,0 +1,157 @@
+#include "ir/irbuilder.hpp"
+
+namespace care::ir {
+
+std::string IRBuilder::autoName(const std::string& name) {
+  if (!name.empty()) return name;
+  return "t" + std::to_string(bb_->parent()->nextValueId());
+}
+
+Instruction* IRBuilder::finish(std::unique_ptr<Instruction> in) {
+  CARE_ASSERT(bb_, "no insertion point");
+  in->setDebugLoc(loc_);
+  return bb_->append(std::move(in));
+}
+
+Instruction* IRBuilder::alloca_(Type* elemType, std::uint64_t count,
+                                const std::string& name) {
+  auto in = std::make_unique<Instruction>(Opcode::Alloca,
+                                          Type::ptrTo(elemType),
+                                          autoName(name));
+  in->setAllocaInfo(elemType, count);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::load(Value* ptr, const std::string& name) {
+  CARE_ASSERT(ptr->type()->isPointer(), "load from non-pointer");
+  auto in = std::make_unique<Instruction>(
+      Opcode::Load, ptr->type()->pointee(), autoName(name));
+  in->addOperand(ptr);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::store(Value* val, Value* ptr) {
+  CARE_ASSERT(ptr->type()->isPointer(), "store to non-pointer");
+  CARE_ASSERT(ptr->type()->pointee() == val->type(),
+              "store type mismatch: " + val->type()->str() + " to " +
+                  ptr->type()->str());
+  auto in = std::make_unique<Instruction>(Opcode::Store, Type::voidTy(), "");
+  in->addOperand(val);
+  in->addOperand(ptr);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::gep(Value* ptr, Value* index,
+                            const std::string& name) {
+  CARE_ASSERT(ptr->type()->isPointer(), "gep on non-pointer");
+  CARE_ASSERT(index->type() == Type::i64(), "gep index must be i64");
+  auto in =
+      std::make_unique<Instruction>(Opcode::Gep, ptr->type(), autoName(name));
+  in->addOperand(ptr);
+  in->addOperand(index);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::binary(Opcode op, Value* a, Value* b,
+                               const std::string& name) {
+  CARE_ASSERT(a->type() == b->type(), "binary operand type mismatch");
+  const bool isFP = op >= Opcode::FAdd && op <= Opcode::FDiv;
+  CARE_ASSERT(isFP ? a->type()->isFloat() : a->type()->isInteger(),
+              "binary op / operand class mismatch");
+  auto in = std::make_unique<Instruction>(op, a->type(), autoName(name));
+  in->addOperand(a);
+  in->addOperand(b);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::icmp(CmpPred p, Value* a, Value* b,
+                             const std::string& name) {
+  CARE_ASSERT(a->type() == b->type() &&
+                  (a->type()->isInteger() || a->type()->isPointer()),
+              "icmp operand mismatch");
+  auto in =
+      std::make_unique<Instruction>(Opcode::ICmp, Type::i1(), autoName(name));
+  in->setPred(p);
+  in->addOperand(a);
+  in->addOperand(b);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::fcmp(CmpPred p, Value* a, Value* b,
+                             const std::string& name) {
+  CARE_ASSERT(a->type() == b->type() && a->type()->isFloat(),
+              "fcmp operand mismatch");
+  auto in =
+      std::make_unique<Instruction>(Opcode::FCmp, Type::i1(), autoName(name));
+  in->setPred(p);
+  in->addOperand(a);
+  in->addOperand(b);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::cast(Opcode op, Value* v, Type* to,
+                             const std::string& name) {
+  auto in = std::make_unique<Instruction>(op, to, autoName(name));
+  in->addOperand(v);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::phi(Type* type, const std::string& name) {
+  auto in = std::make_unique<Instruction>(Opcode::Phi, type, autoName(name));
+  // Phis belong at the top of the block, before any non-phi.
+  CARE_ASSERT(bb_, "no insertion point");
+  in->setDebugLoc(loc_);
+  std::size_t pos = 0;
+  while (pos < bb_->size() && bb_->inst(pos)->opcode() == Opcode::Phi) ++pos;
+  return bb_->insertAt(pos, std::move(in));
+}
+
+Instruction* IRBuilder::call(Function* callee,
+                             const std::vector<Value*>& args,
+                             const std::string& name) {
+  CARE_ASSERT(callee->numArgs() == args.size(), "call arity mismatch");
+  for (unsigned i = 0; i < args.size(); ++i)
+    CARE_ASSERT(args[i]->type() == callee->arg(i)->type(),
+                "call argument type mismatch in call to " + callee->name());
+  auto in = std::make_unique<Instruction>(
+      Opcode::Call, callee->returnType(),
+      callee->returnType()->isVoid() ? "" : autoName(name));
+  in->setCallee(callee);
+  for (Value* a : args) in->addOperand(a);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::select(Value* cond, Value* t, Value* f,
+                               const std::string& name) {
+  CARE_ASSERT(cond->type()->isBool(), "select condition must be i1");
+  CARE_ASSERT(t->type() == f->type(), "select arm type mismatch");
+  auto in =
+      std::make_unique<Instruction>(Opcode::Select, t->type(), autoName(name));
+  in->addOperand(cond);
+  in->addOperand(t);
+  in->addOperand(f);
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::br(BasicBlock* dest) {
+  auto in = std::make_unique<Instruction>(Opcode::Br, Type::voidTy(), "");
+  in->setSuccs({dest});
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::condBr(Value* cond, BasicBlock* ifTrue,
+                               BasicBlock* ifFalse) {
+  CARE_ASSERT(cond->type()->isBool(), "condbr condition must be i1");
+  auto in = std::make_unique<Instruction>(Opcode::CondBr, Type::voidTy(), "");
+  in->addOperand(cond);
+  in->setSuccs({ifTrue, ifFalse});
+  return finish(std::move(in));
+}
+
+Instruction* IRBuilder::ret(Value* v) {
+  auto in = std::make_unique<Instruction>(Opcode::Ret, Type::voidTy(), "");
+  if (v) in->addOperand(v);
+  return finish(std::move(in));
+}
+
+} // namespace care::ir

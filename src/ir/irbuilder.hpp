@@ -1,0 +1,97 @@
+// Convenience builder for CARE-IR, mirroring llvm::IRBuilder.
+//
+// All create* methods append to the current insertion block, type-check
+// their operands, attach the builder's current DebugLoc, and auto-name the
+// result ("tN") when no name is given.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace care::ir {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module* mod) : mod_(mod) {}
+
+  Module* module() const { return mod_; }
+  BasicBlock* insertBlock() const { return bb_; }
+  void setInsertPoint(BasicBlock* bb) { bb_ = bb; }
+
+  void setDebugLoc(DebugLoc loc) { loc_ = loc; }
+  const DebugLoc& debugLoc() const { return loc_; }
+
+  // --- memory ---------------------------------------------------------
+  Instruction* alloca_(Type* elemType, std::uint64_t count = 1,
+                       const std::string& name = "");
+  Instruction* load(Value* ptr, const std::string& name = "");
+  Instruction* store(Value* val, Value* ptr);
+  /// gep: pointer + i64 index -> pointer to element.
+  Instruction* gep(Value* ptr, Value* index, const std::string& name = "");
+
+  // --- arithmetic -----------------------------------------------------
+  Instruction* binary(Opcode op, Value* a, Value* b,
+                      const std::string& name = "");
+  Instruction* add(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::Add, a, b, n);
+  }
+  Instruction* sub(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::Sub, a, b, n);
+  }
+  Instruction* mul(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::Mul, a, b, n);
+  }
+  Instruction* sdiv(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::SDiv, a, b, n);
+  }
+  Instruction* srem(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::SRem, a, b, n);
+  }
+  Instruction* fadd(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::FAdd, a, b, n);
+  }
+  Instruction* fsub(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::FSub, a, b, n);
+  }
+  Instruction* fmul(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::FMul, a, b, n);
+  }
+  Instruction* fdiv(Value* a, Value* b, const std::string& n = "") {
+    return binary(Opcode::FDiv, a, b, n);
+  }
+
+  // --- comparisons / conversions ---------------------------------------
+  Instruction* icmp(CmpPred p, Value* a, Value* b,
+                    const std::string& name = "");
+  Instruction* fcmp(CmpPred p, Value* a, Value* b,
+                    const std::string& name = "");
+  Instruction* cast(Opcode op, Value* v, Type* to,
+                    const std::string& name = "");
+  Instruction* sext(Value* v, Type* to, const std::string& n = "") {
+    return cast(Opcode::Sext, v, to, n);
+  }
+  Instruction* sitofp(Value* v, Type* to, const std::string& n = "") {
+    return cast(Opcode::SIToFP, v, to, n);
+  }
+
+  // --- other ------------------------------------------------------------
+  Instruction* phi(Type* type, const std::string& name = "");
+  Instruction* call(Function* callee, const std::vector<Value*>& args,
+                    const std::string& name = "");
+  Instruction* select(Value* cond, Value* t, Value* f,
+                      const std::string& name = "");
+
+  // --- terminators --------------------------------------------------------
+  Instruction* br(BasicBlock* dest);
+  Instruction* condBr(Value* cond, BasicBlock* ifTrue, BasicBlock* ifFalse);
+  Instruction* ret(Value* v = nullptr);
+
+private:
+  Instruction* finish(std::unique_ptr<Instruction> in);
+  std::string autoName(const std::string& name);
+
+  Module* mod_;
+  BasicBlock* bb_ = nullptr;
+  DebugLoc loc_;
+};
+
+} // namespace care::ir

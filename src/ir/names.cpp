@@ -1,0 +1,43 @@
+#include "ir/names.hpp"
+
+#include <set>
+#include <string>
+
+namespace care::ir {
+
+namespace {
+
+void uniquify(Value* v, std::set<std::string>& used, Function& f) {
+  std::string name = v->name();
+  if (name.empty()) name = "t" + std::to_string(f.nextValueId());
+  if (used.count(name)) {
+    std::string candidate;
+    do {
+      candidate = name + "." + std::to_string(f.nextValueId());
+    } while (used.count(candidate));
+    name = std::move(candidate);
+  }
+  used.insert(name);
+  v->setName(std::move(name));
+}
+
+} // namespace
+
+void uniquifyNames(Function& f) {
+  if (f.isDeclaration()) return;
+  std::set<std::string> used;
+  for (unsigned i = 0; i < f.numArgs(); ++i) uniquify(f.arg(i), used, f);
+  for (BasicBlock* bb : f)
+    for (Instruction* in : *bb)
+      if (!in->type()->isVoid()) uniquify(in, used, f);
+  // Block labels get their own namespace (the textual parser requires
+  // unique labels; the front end reuses "for.cond" etc. freely).
+  std::set<std::string> usedBlocks;
+  for (BasicBlock* bb : f) uniquify(bb, usedBlocks, f);
+}
+
+void uniquifyNames(Module& m) {
+  for (Function* f : m) uniquifyNames(*f);
+}
+
+} // namespace care::ir

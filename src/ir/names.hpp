@@ -1,0 +1,21 @@
+// Name hygiene for debug info.
+//
+// Recovery-kernel parameters are matched to machine locations *by name*
+// (Armor writes the IR value's name into the Recovery Table; the backend
+// writes the same name into VarLocs). That only works if every named value
+// in a function has a unique, non-empty name — which shadowed locals and
+// mem2reg-created phis can violate. Run this after optimization, before
+// Armor and instruction selection.
+#pragma once
+
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace care::ir {
+
+/// Ensure every value-producing instruction and argument in `f` has a
+/// unique non-empty name (appending ".N" to duplicates).
+void uniquifyNames(Function& f);
+void uniquifyNames(Module& m);
+
+} // namespace care::ir

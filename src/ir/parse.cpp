@@ -1,0 +1,491 @@
+#include "ir/parse.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace care::ir {
+
+namespace {
+
+/// Line-oriented scanner over the printer's output format.
+class Parser {
+public:
+  explicit Parser(const std::string& text) {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      const std::size_t end = nl == std::string::npos ? text.size() : nl;
+      lines_.push_back(text.substr(start, end - start));
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  std::unique_ptr<Module> run() {
+    // The module name header, if any, must be known before anything is
+    // added to the module.
+    std::string moduleName = "parsed";
+    for (const std::string& line : lines_)
+      if (line.rfind("; module ", 0) == 0) moduleName = line.substr(9);
+    mod_ = std::make_unique<Module>(moduleName);
+
+    // Pre-scan: create globals and every function signature first so
+    // bodies may reference entities defined later in the file.
+    const std::size_t save = pos_;
+    while (!atEnd()) {
+      const std::string& line = cur();
+      if (line.rfind("declare ", 0) == 0 || line.rfind("define ", 0) == 0)
+        parseSignature();
+      else if (!blank(line) && line[0] == '@')
+        parseGlobal();
+      else
+        next();
+    }
+    pos_ = save;
+    while (!atEnd()) {
+      const std::string& line = cur();
+      if (blank(line) || line.rfind("; module ", 0) == 0) {
+        next();
+        continue;
+      }
+      if (line[0] == '@') {
+        next(); // globals were created during the pre-scan
+        continue;
+      }
+      if (line.rfind("declare ", 0) == 0 || line.rfind("define ", 0) == 0) {
+        parseFunction();
+        continue;
+      }
+      err("unexpected top-level line");
+    }
+    return std::move(mod_);
+  }
+
+private:
+  [[noreturn]] void err(const std::string& msg) const {
+    raise("IR parse error at line " + std::to_string(pos_ + 1) + ": " + msg +
+          " -- '" + (pos_ < lines_.size() ? lines_[pos_] : "<eof>") + "'");
+  }
+
+  static bool blank(const std::string& s) {
+    for (char c : s)
+      if (!std::isspace(static_cast<unsigned char>(c))) return false;
+    return true;
+  }
+
+  bool atEnd() const { return pos_ >= lines_.size(); }
+  const std::string& cur() const { return lines_[pos_]; }
+  void next() { ++pos_; }
+
+  // --- token scanning within a line ---------------------------------------
+  struct Cursor {
+    const std::string* s;
+    std::size_t i = 0;
+    void skipWs() {
+      while (i < s->size() && ((*s)[i] == ' ' || (*s)[i] == '\t')) ++i;
+    }
+    bool eat(const std::string& lit) {
+      skipWs();
+      if (s->compare(i, lit.size(), lit) == 0) {
+        i += lit.size();
+        return true;
+      }
+      return false;
+    }
+    bool done() {
+      skipWs();
+      return i >= s->size();
+    }
+    char peek() {
+      skipWs();
+      return i < s->size() ? (*s)[i] : '\0';
+    }
+    std::string word() {
+      skipWs();
+      std::size_t j = i;
+      while (j < s->size() && !std::isspace(static_cast<unsigned char>((*s)[j])) &&
+             (*s)[j] != ',' && (*s)[j] != '(' && (*s)[j] != ')' &&
+             (*s)[j] != '[' && (*s)[j] != ']' && (*s)[j] != ':')
+        ++j;
+      std::string out = s->substr(i, j - i);
+      i = j;
+      return out;
+    }
+  };
+
+  Type* parseType(const std::string& w) const {
+    std::size_t stars = 0;
+    std::size_t end = w.size();
+    while (end > 0 && w[end - 1] == '*') {
+      ++stars;
+      --end;
+    }
+    const std::string base = w.substr(0, end);
+    Type* t;
+    if (base == "void") t = Type::voidTy();
+    else if (base == "i1") t = Type::i1();
+    else if (base == "i32") t = Type::i32();
+    else if (base == "i64") t = Type::i64();
+    else if (base == "f32") t = Type::f32();
+    else if (base == "f64") t = Type::f64();
+    else err("bad type '" + w + "'");
+    for (std::size_t k = 0; k < stars; ++k) t = Type::ptrTo(t);
+    return t;
+  }
+
+  // --- top-level entities ---------------------------------------------------
+
+  void parseGlobal() {
+    Cursor c{&cur()};
+    if (!c.eat("@")) err("expected '@'");
+    const std::string name = c.word();
+    if (!c.eat(" = global") && !c.eat("= global")) err("expected '= global'");
+    Type* elem = parseType(c.word());
+    if (!c.eat("x")) err("expected 'x'");
+    const std::uint64_t count = std::stoull(c.word());
+    GlobalVariable* g = mod_->addGlobal(elem, count, name);
+    if (c.eat("array")) g->setIsArray(true);
+    if (c.eat("init")) {
+      std::vector<double> init;
+      while (!c.done()) init.push_back(std::stod(c.word()));
+      g->setInit(std::move(init));
+    }
+    next();
+  }
+
+  /// Parse a define/declare header line. Creates the Function on the first
+  /// (pre-scan) encounter; afterwards returns the existing one.
+  Function* parseSignature() {
+    Cursor c{&cur()};
+    const bool isDecl = c.eat("declare ");
+    if (!isDecl && !c.eat("define ")) err("expected define/declare");
+    bool intrinsic = false, simple = false;
+    if (c.eat("intrinsic ")) intrinsic = true;
+    else if (c.eat("simple ")) simple = true;
+    Type* ret = parseType(c.word());
+    if (!c.eat("@")) err("expected function name");
+    const std::string name = c.word();
+    if (!c.eat("(")) err("expected '('");
+    std::vector<Type*> paramTypes;
+    std::vector<std::string> paramNames;
+    if (!c.eat(")")) {
+      for (;;) {
+        paramTypes.push_back(parseType(c.word()));
+        if (!c.eat("%")) err("expected parameter name");
+        paramNames.push_back(c.word());
+        if (c.eat(")")) break;
+        if (!c.eat(",")) err("expected ',' in parameter list");
+      }
+    }
+    Function* f = mod_->findFunction(name);
+    if (!f) {
+      f = mod_->addFunction(name, ret, paramTypes);
+      f->setIntrinsic(intrinsic);
+      f->setSimpleCall(intrinsic || simple);
+      for (unsigned i = 0; i < paramNames.size(); ++i)
+        f->setArgName(i, paramNames[i]);
+    }
+    next();
+    return f;
+  }
+
+  void parseFunction() {
+    const bool hasBody =
+        cur().rfind("define ", 0) == 0 &&
+        cur().find('{') != std::string::npos;
+    Function* f = parseSignature();
+    if (hasBody) parseBody(f);
+  }
+
+  // --- function bodies (two passes) -----------------------------------------
+
+  struct PendingOp {
+    enum Kind { Ref, Global, IntLit, FpLit } kind = Ref;
+    std::string name;
+    Type* type = nullptr;
+    std::int64_t i = 0;
+    double d = 0;
+    std::string phiBlock; // nonempty for phi incomings
+  };
+
+  struct PendingInst {
+    Instruction* inst = nullptr;
+    std::vector<PendingOp> ops;
+    std::vector<std::string> succs;
+  };
+
+  void parseBody(Function* f) {
+    std::map<std::string, BasicBlock*> blocks;
+    std::map<std::string, Value*> values;
+    for (unsigned i = 0; i < f->numArgs(); ++i) {
+      if (!values.emplace(f->arg(i)->name(), f->arg(i)).second)
+        err("duplicate argument name in " + f->name());
+    }
+    std::vector<PendingInst> pending;
+    BasicBlock* bb = nullptr;
+
+    while (!atEnd() && cur() != "}") {
+      const std::string& line = cur();
+      if (blank(line)) {
+        next();
+        continue;
+      }
+      if (line.back() == ':' && line[0] != ' ') {
+        const std::string label = line.substr(0, line.size() - 1);
+        bb = f->addBlock(label);
+        if (!blocks.emplace(label, bb).second)
+          err("duplicate block label " + label);
+        next();
+        continue;
+      }
+      if (!bb) err("instruction before any block label");
+      pending.push_back(parseInstruction(bb, values));
+      next();
+    }
+    if (atEnd()) err("missing '}'");
+    next(); // consume '}'
+
+    // Second pass: resolve operands / phi blocks / successors.
+    for (PendingInst& pi : pending) {
+      for (const PendingOp& po : pi.ops) {
+        Value* v = nullptr;
+        switch (po.kind) {
+        case PendingOp::Ref: {
+          auto it = values.find(po.name);
+          if (it == values.end()) err("unknown value %" + po.name);
+          v = it->second;
+          break;
+        }
+        case PendingOp::Global: {
+          v = mod_->findGlobal(po.name);
+          if (!v) err("unknown global @" + po.name);
+          break;
+        }
+        case PendingOp::IntLit:
+          v = mod_->constInt(po.type, po.i);
+          break;
+        case PendingOp::FpLit:
+          v = mod_->constFP(po.type, po.d);
+          break;
+        }
+        if (pi.inst->opcode() == Opcode::Phi) {
+          auto bit = blocks.find(po.phiBlock);
+          if (bit == blocks.end()) err("unknown phi block %" + po.phiBlock);
+          pi.inst->addPhiIncoming(v, bit->second);
+        } else {
+          pi.inst->addOperand(v);
+        }
+      }
+      if (!pi.succs.empty()) {
+        std::vector<BasicBlock*> succs;
+        for (const std::string& sname : pi.succs) {
+          auto it = blocks.find(sname);
+          if (it == blocks.end()) err("unknown successor %" + sname);
+          succs.push_back(it->second);
+        }
+        pi.inst->setSuccs(std::move(succs));
+      }
+    }
+  }
+
+  static Opcode opcodeByName(const std::string& w, bool& ok) {
+    static const std::map<std::string, Opcode> kOps = {
+        {"alloca", Opcode::Alloca}, {"load", Opcode::Load},
+        {"store", Opcode::Store},   {"gep", Opcode::Gep},
+        {"add", Opcode::Add},       {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},       {"sdiv", Opcode::SDiv},
+        {"srem", Opcode::SRem},     {"and", Opcode::And},
+        {"or", Opcode::Or},         {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl},       {"ashr", Opcode::AShr},
+        {"fadd", Opcode::FAdd},     {"fsub", Opcode::FSub},
+        {"fmul", Opcode::FMul},     {"fdiv", Opcode::FDiv},
+        {"icmp", Opcode::ICmp},     {"fcmp", Opcode::FCmp},
+        {"sext", Opcode::Sext},     {"zext", Opcode::Zext},
+        {"trunc", Opcode::Trunc},   {"sitofp", Opcode::SIToFP},
+        {"fptosi", Opcode::FPToSI}, {"fpext", Opcode::FPExt},
+        {"fptrunc", Opcode::FPTrunc}, {"phi", Opcode::Phi},
+        {"call", Opcode::Call},     {"select", Opcode::Select},
+        {"br", Opcode::Br},         {"condbr", Opcode::CondBr},
+        {"ret", Opcode::Ret},
+    };
+    auto it = kOps.find(w);
+    ok = it != kOps.end();
+    return ok ? it->second : Opcode::Ret;
+  }
+
+  static CmpPred predByName(const std::string& w, bool& ok) {
+    static const std::map<std::string, CmpPred> kPreds = {
+        {"eq", CmpPred::EQ}, {"ne", CmpPred::NE}, {"lt", CmpPred::LT},
+        {"le", CmpPred::LE}, {"gt", CmpPred::GT}, {"ge", CmpPred::GE}};
+    auto it = kPreds.find(w);
+    ok = it != kPreds.end();
+    return ok ? it->second : CmpPred::EQ;
+  }
+
+  PendingInst parseInstruction(BasicBlock* bb,
+                               std::map<std::string, Value*>& values) {
+    // Strip the "; !dbg f:l:c" tail first.
+    std::string line = cur();
+    DebugLoc loc;
+    const std::size_t dbg = line.find("; !dbg ");
+    if (dbg != std::string::npos) {
+      const std::string tail = line.substr(dbg + 7);
+      unsigned f = 0, l = 0, c = 0;
+      if (std::sscanf(tail.c_str(), "%u:%u:%u", &f, &l, &c) == 3)
+        loc = {f, l, c};
+      line = line.substr(0, dbg);
+    }
+    Cursor c{&line};
+
+    std::string resultName;
+    if (c.peek() == '%') {
+      c.eat("%");
+      resultName = c.word();
+      if (!c.eat("=")) err("expected '='");
+    }
+    bool ok = false;
+    const std::string opWord = c.word();
+    const Opcode op = opcodeByName(opWord, ok);
+    if (!ok) err("unknown opcode '" + opWord + "'");
+
+    PendingInst pi;
+    CmpPred pred = CmpPred::EQ;
+    Function* callee = nullptr;
+    Type* allocaElem = nullptr;
+    std::uint64_t allocaCount = 0;
+
+    if (op == Opcode::ICmp || op == Opcode::FCmp) {
+      pred = predByName(c.word(), ok);
+      if (!ok) err("bad compare predicate");
+    }
+    if (op == Opcode::Call) {
+      if (!c.eat("@")) err("expected callee");
+      const std::string cname = c.word();
+      callee = mod_->findFunction(cname);
+      if (!callee) err("unknown callee @" + cname);
+    }
+    if (op == Opcode::Alloca) {
+      allocaElem = parseType(c.word());
+      if (!c.eat("x")) err("expected 'x' in alloca");
+      allocaCount = std::stoull(c.word());
+    }
+
+    // Operands and successors.
+    while (!c.done()) {
+      if (c.eat(":")) { // result type suffix — informational; skip
+        c.word();
+        continue;
+      }
+      c.eat(",");
+      if (c.eat("label %")) {
+        pi.succs.push_back(c.word());
+        continue;
+      }
+      if (op == Opcode::Alloca) break;
+      // TYPE REF
+      Type* t = parseType(c.word());
+      PendingOp po;
+      po.type = t;
+      if (c.eat("%")) {
+        po.kind = PendingOp::Ref;
+        po.name = c.word();
+      } else if (c.eat("@")) {
+        po.kind = PendingOp::Global;
+        po.name = c.word();
+      } else {
+        const std::string lit = c.word();
+        if (lit.empty()) err("expected operand");
+        if (t->isFloat()) {
+          po.kind = PendingOp::FpLit;
+          po.d = std::stod(lit);
+        } else {
+          po.kind = PendingOp::IntLit;
+          po.i = std::stoll(lit);
+        }
+      }
+      if (op == Opcode::Phi) {
+        if (!c.eat("[%")) err("expected phi incoming block");
+        po.phiBlock = c.word();
+        if (!c.eat("]")) err("expected ']'");
+      }
+      pi.ops.push_back(std::move(po));
+    }
+
+    // Result type: derive from the instruction form.
+    Type* type = Type::voidTy();
+    switch (op) {
+    case Opcode::Alloca: type = Type::ptrTo(allocaElem); break;
+    case Opcode::Load:
+      if (pi.ops.empty() || !pi.ops[0].type->isPointer())
+        err("load needs a pointer operand");
+      type = pi.ops[0].type->pointee();
+      break;
+    case Opcode::Gep:
+      if (pi.ops.empty()) err("gep needs operands");
+      type = pi.ops[0].type;
+      break;
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+      type = Type::i1();
+      break;
+    case Opcode::Call: type = callee->returnType(); break;
+    case Opcode::Store:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+      type = Type::voidTy();
+      break;
+    case Opcode::Phi:
+    case Opcode::Select:
+      type = pi.ops.empty() ? Type::voidTy() : pi.ops.back().type;
+      break;
+    case Opcode::Sext:
+    case Opcode::Zext:
+    case Opcode::Trunc:
+    case Opcode::SIToFP:
+    case Opcode::FPToSI:
+    case Opcode::FPExt:
+    case Opcode::FPTrunc: {
+      // The result type was printed as the ": TYPE" suffix, which the
+      // operand loop skipped; recover it from the raw line.
+      const std::size_t colon = line.rfind(" : ");
+      if (colon == std::string::npos) err("cast needs a result type");
+      std::string tw = line.substr(colon + 3);
+      while (!tw.empty() && std::isspace(static_cast<unsigned char>(tw.back())))
+        tw.pop_back();
+      type = parseType(tw);
+      break;
+    }
+    default: // binary ops: operand type
+      type = pi.ops.empty() ? Type::voidTy() : pi.ops[0].type;
+      break;
+    }
+
+    auto in = std::make_unique<Instruction>(op, type, resultName);
+    in->setDebugLoc(loc);
+    if (op == Opcode::ICmp || op == Opcode::FCmp) in->setPred(pred);
+    if (op == Opcode::Call) in->setCallee(callee);
+    if (op == Opcode::Alloca) in->setAllocaInfo(allocaElem, allocaCount);
+    pi.inst = bb->append(std::move(in));
+    if (!resultName.empty()) {
+      if (!values.emplace(resultName, pi.inst).second)
+        err("duplicate value name %" + resultName);
+    }
+    return pi;
+  }
+
+  std::vector<std::string> lines_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<Module> mod_;
+};
+
+} // namespace
+
+std::unique_ptr<Module> parseModule(const std::string& text) {
+  return Parser(text).run();
+}
+
+} // namespace care::ir

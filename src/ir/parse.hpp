@@ -1,0 +1,17 @@
+// Textual CARE-IR parser: reads the exact syntax ir/printer.hpp emits, so
+// modules round-trip through text. Used for IR-level test fixtures and for
+// inspecting/editing dumped recovery libraries by hand.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace care::ir {
+
+/// Parse a textual module (the toString(Module*) format). Throws
+/// care::Error with a line number on malformed input.
+std::unique_ptr<Module> parseModule(const std::string& text);
+
+} // namespace care::ir

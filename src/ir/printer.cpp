@@ -1,0 +1,107 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace care::ir {
+namespace {
+
+std::string operandRef(const Value* v) {
+  switch (v->kind()) {
+  case ValueKind::ConstantInt:
+    return std::to_string(static_cast<const ConstantInt*>(v)->value());
+  case ValueKind::ConstantFP: {
+    // max_digits10 so the textual form round-trips through the parser.
+    std::ostringstream os;
+    os.precision(17);
+    os << static_cast<const ConstantFP*>(v)->value();
+    return os.str();
+  }
+  case ValueKind::GlobalVariable:
+    return "@" + v->name();
+  case ValueKind::Argument:
+  case ValueKind::Instruction:
+    return "%" + v->name();
+  case ValueKind::BasicBlock:
+    return "label %" + v->name();
+  case ValueKind::Function:
+    return "@" + v->name();
+  }
+  CARE_UNREACHABLE("bad value kind");
+}
+
+} // namespace
+
+std::string toString(const Value* v) { return operandRef(v); }
+
+std::string toString(const Instruction* in) {
+  std::ostringstream os;
+  if (!in->type()->isVoid()) os << "%" << in->name() << " = ";
+  os << opcodeName(in->opcode());
+  if (in->opcode() == Opcode::ICmp || in->opcode() == Opcode::FCmp)
+    os << " " << predName(in->pred());
+  if (in->opcode() == Opcode::Alloca) {
+    os << " " << in->allocaElemType()->str() << " x " << in->allocaCount();
+  }
+  if (in->opcode() == Opcode::Call) os << " @" << in->callee()->name();
+  for (unsigned i = 0; i < in->numOperands(); ++i) {
+    os << (i == 0 ? " " : ", ") << in->operand(i)->type()->str() << " "
+       << operandRef(in->operand(i));
+    if (in->opcode() == Opcode::Phi)
+      os << " [%" << in->phiBlock(i)->name() << "]";
+  }
+  for (unsigned i = 0; i < in->numSuccs(); ++i)
+    os << (i == 0 && in->numOperands() == 0 ? " " : ", ") << "label %"
+       << in->succ(i)->name();
+  if (!in->type()->isVoid()) os << " : " << in->type()->str();
+  const DebugLoc& loc = in->debugLoc();
+  if (loc.valid()) os << "  ; !dbg " << loc.file << ":" << loc.line << ":"
+                      << loc.col;
+  return os.str();
+}
+
+std::string toString(const Function* f) {
+  std::ostringstream os;
+  os << (f->isDeclaration() ? "declare " : "define ");
+  if (f->isIntrinsic()) os << "intrinsic ";
+  else if (f->isSimpleCall()) os << "simple ";
+  os << f->returnType()->str() << " @" << f->name() << "(";
+  for (unsigned i = 0; i < f->numArgs(); ++i) {
+    if (i) os << ", ";
+    os << f->arg(i)->type()->str() << " %" << f->arg(i)->name();
+  }
+  os << ")";
+  if (f->isDeclaration()) {
+    os << "\n";
+    return os.str();
+  }
+  os << " {\n";
+  for (const BasicBlock* bb : *f) {
+    os << bb->name() << ":\n";
+    for (const Instruction* in : *bb) os << "  " << toString(in) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string toString(const Module* m) {
+  std::ostringstream os;
+  os << "; module " << m->name() << "\n";
+  for (std::size_t i = 0; i < m->numGlobals(); ++i) {
+    const GlobalVariable* g = m->global(i);
+    os << "@" << g->name() << " = global " << g->elemType()->str() << " x "
+       << g->count();
+    if (g->isArray() && g->count() == 1) os << " array";
+    if (!g->init().empty()) {
+      os << " init";
+      std::ostringstream vs;
+      vs.precision(17);
+      for (double d : g->init()) vs << " " << d;
+      os << vs.str();
+    }
+    os << "\n";
+  }
+  for (const Function* f : *m) os << "\n" << toString(f);
+  return os.str();
+}
+
+} // namespace care::ir

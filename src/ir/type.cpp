@@ -1,0 +1,66 @@
+#include "ir/type.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace care::ir {
+
+unsigned Type::sizeBytes() const {
+  switch (kind_) {
+  case TypeKind::Void: return 0;
+  case TypeKind::I1: return 1;
+  case TypeKind::I32: return 4;
+  case TypeKind::I64: return 8;
+  case TypeKind::F32: return 4;
+  case TypeKind::F64: return 8;
+  case TypeKind::Ptr: return 8;
+  }
+  CARE_UNREACHABLE("bad type kind");
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+  case TypeKind::Void: return "void";
+  case TypeKind::I1: return "i1";
+  case TypeKind::I32: return "i32";
+  case TypeKind::I64: return "i64";
+  case TypeKind::F32: return "f32";
+  case TypeKind::F64: return "f64";
+  case TypeKind::Ptr: return pointee_->str() + "*";
+  }
+  CARE_UNREACHABLE("bad type kind");
+}
+
+#define CARE_SCALAR_TYPE(NAME, KIND)                                         \
+  Type* Type::NAME() {                                                       \
+    static Type t{TypeKind::KIND};                                           \
+    return &t;                                                               \
+  }
+
+CARE_SCALAR_TYPE(voidTy, Void)
+CARE_SCALAR_TYPE(i1, I1)
+CARE_SCALAR_TYPE(i32, I32)
+CARE_SCALAR_TYPE(i64, I64)
+CARE_SCALAR_TYPE(f32, F32)
+CARE_SCALAR_TYPE(f64, F64)
+#undef CARE_SCALAR_TYPE
+
+Type* Type::ptrTo(Type* elem) {
+  CARE_ASSERT(elem && !elem->isVoid(), "pointer to void/null");
+  static std::mutex mu;
+  static std::map<Type*, std::unique_ptr<Type>> interned;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = interned.find(elem);
+  if (it == interned.end()) {
+    it = interned
+             .emplace(elem, std::unique_ptr<Type>(new Type(TypeKind::Ptr,
+                                                            elem)))
+             .first;
+  }
+  return it->second.get();
+}
+
+} // namespace care::ir

@@ -1,0 +1,57 @@
+// CARE-IR type system.
+//
+// A deliberately small subset of LLVM's: the scalar types scientific
+// mini-apps actually use plus first-class pointers. Types are interned in a
+// process-wide context, so Type* identity comparison is type equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace care::ir {
+
+enum class TypeKind : std::uint8_t { Void, I1, I32, I64, F32, F64, Ptr };
+
+class Type {
+public:
+  TypeKind kind() const { return kind_; }
+
+  bool isVoid() const { return kind_ == TypeKind::Void; }
+  bool isBool() const { return kind_ == TypeKind::I1; }
+  bool isInteger() const {
+    return kind_ == TypeKind::I1 || kind_ == TypeKind::I32 ||
+           kind_ == TypeKind::I64;
+  }
+  bool isFloat() const {
+    return kind_ == TypeKind::F32 || kind_ == TypeKind::F64;
+  }
+  bool isPointer() const { return kind_ == TypeKind::Ptr; }
+
+  /// Element type for pointers; null otherwise.
+  Type* pointee() const { return pointee_; }
+
+  /// Storage size in bytes (0 for void; 1 for i1; 8 for pointers).
+  unsigned sizeBytes() const;
+
+  /// Textual form, e.g. "i32", "f64*", "f64**".
+  std::string str() const;
+
+  // --- interned accessors -------------------------------------------------
+  static Type* voidTy();
+  static Type* i1();
+  static Type* i32();
+  static Type* i64();
+  static Type* f32();
+  static Type* f64();
+  /// Pointer to `elem` (interned; thread-safe).
+  static Type* ptrTo(Type* elem);
+
+private:
+  explicit Type(TypeKind k, Type* pointee = nullptr)
+      : kind_(k), pointee_(pointee) {}
+
+  TypeKind kind_;
+  Type* pointee_;
+};
+
+} // namespace care::ir

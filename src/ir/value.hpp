@@ -1,0 +1,142 @@
+// CARE-IR value hierarchy: Value, Constant{Int,FP}, GlobalVariable, Argument.
+//
+// Instructions, basic blocks and functions derive from Value in their own
+// headers. Values carry explicit def-use edges (Use lists) so optimization
+// passes and Armor's backward slicer can walk users/operands in O(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+#include "support/error.hpp"
+
+namespace care::ir {
+
+class Instruction;
+class Function;
+
+enum class ValueKind : std::uint8_t {
+  ConstantInt,
+  ConstantFP,
+  GlobalVariable,
+  Argument,
+  BasicBlock,
+  Function,
+  Instruction,
+};
+
+/// A (user, operand-index) edge in the def-use graph.
+struct Use {
+  Instruction* user;
+  unsigned index;
+};
+
+class Value {
+public:
+  Value(ValueKind kind, Type* type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+  virtual ~Value() = default;
+
+  ValueKind kind() const { return kind_; }
+  Type* type() const { return type_; }
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  bool isConstant() const {
+    return kind_ == ValueKind::ConstantInt || kind_ == ValueKind::ConstantFP;
+  }
+  bool isInstruction() const { return kind_ == ValueKind::Instruction; }
+
+  const std::vector<Use>& uses() const { return uses_; }
+  bool hasUses() const { return !uses_.empty(); }
+
+  /// Rewrite every use of this value to use `repl` instead.
+  void replaceAllUsesWith(Value* repl);
+
+  // Use-list bookkeeping; called by Instruction::setOperand only.
+  void addUse(Instruction* user, unsigned idx) { uses_.push_back({user, idx}); }
+  void removeUse(Instruction* user, unsigned idx);
+
+private:
+  ValueKind kind_;
+  Type* type_;
+  std::string name_;
+  std::vector<Use> uses_;
+};
+
+/// Integer constant (i1/i32/i64), value held sign-extended in an i64.
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type* type, std::int64_t v)
+      : Value(ValueKind::ConstantInt, type, ""), value_(v) {
+    CARE_ASSERT(type->isInteger(), "ConstantInt needs integer type");
+  }
+  std::int64_t value() const { return value_; }
+
+private:
+  std::int64_t value_;
+};
+
+/// Floating-point constant (f32/f64).
+class ConstantFP : public Value {
+public:
+  ConstantFP(Type* type, double v)
+      : Value(ValueKind::ConstantFP, type, ""), value_(v) {
+    CARE_ASSERT(type->isFloat(), "ConstantFP needs float type");
+  }
+  double value() const { return value_; }
+
+private:
+  double value_;
+};
+
+/// Module-level variable: a scalar or flat array in the data segment.
+/// Its Value type is a pointer to the element type (as in LLVM).
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(Type* elemType, std::uint64_t count, std::string name)
+      : Value(ValueKind::GlobalVariable, Type::ptrTo(elemType),
+              std::move(name)),
+        elemType_(elemType), count_(count) {}
+
+  Type* elemType() const { return elemType_; }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sizeBytes() const { return count_ * elemType_->sizeBytes(); }
+
+  /// Declared as an array (front ends use this for decay even when the
+  /// element count is 1, e.g. `float a[1]`). Defaults to count > 1.
+  bool isArray() const { return isArray_ || count_ > 1; }
+  void setIsArray(bool v) { isArray_ = v; }
+
+  /// Optional flat initializer, one f64 per element (ints stored as their
+  /// integer value in the double); empty means zero-init.
+  const std::vector<double>& init() const { return init_; }
+  void setInit(std::vector<double> v) { init_ = std::move(v); }
+
+private:
+  Type* elemType_;
+  std::uint64_t count_;
+  bool isArray_ = false;
+  std::vector<double> init_;
+};
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type* type, std::string name, Function* parent, unsigned index)
+      : Value(ValueKind::Argument, type, std::move(name)), parent_(parent),
+        index_(index) {}
+
+  Function* parent() const { return parent_; }
+  unsigned index() const { return index_; }
+
+private:
+  Function* parent_;
+  unsigned index_;
+};
+
+} // namespace care::ir

@@ -1,0 +1,180 @@
+#include "ir/verifier.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "ir/printer.hpp"
+
+namespace care::ir {
+namespace {
+
+class FunctionVerifier {
+public:
+  explicit FunctionVerifier(const Function& f) : f_(f) {}
+
+  std::vector<std::string> run() {
+    if (f_.isDeclaration()) return {};
+    collectDefs();
+    for (const BasicBlock* bb : f_) checkBlock(bb);
+    return std::move(errors_);
+  }
+
+private:
+  void err(const std::string& msg) { errors_.push_back(f_.name() + ": " + msg); }
+
+  void collectDefs() {
+    for (const BasicBlock* bb : f_)
+      for (Instruction* in : *bb) defs_.insert(in);
+  }
+
+  bool isValueInScope(const Value* v) const {
+    switch (v->kind()) {
+    case ValueKind::ConstantInt:
+    case ValueKind::ConstantFP:
+    case ValueKind::GlobalVariable:
+      return true;
+    case ValueKind::Argument:
+      return static_cast<const Argument*>(v)->parent() == &f_;
+    case ValueKind::Instruction:
+      return defs_.count(static_cast<const Instruction*>(v)) > 0;
+    default:
+      return false;
+    }
+  }
+
+  void checkBlock(const BasicBlock* bb) {
+    if (bb->empty()) {
+      err("empty block " + bb->name());
+      return;
+    }
+    if (!bb->terminator()) err("block " + bb->name() + " lacks terminator");
+    bool seenNonPhi = false;
+    for (std::size_t i = 0; i < bb->size(); ++i) {
+      const Instruction* in = bb->inst(i);
+      if (in->isTerminator() && i + 1 != bb->size())
+        err("terminator mid-block in " + bb->name());
+      if (in->opcode() == Opcode::Phi) {
+        if (seenNonPhi) err("phi after non-phi in " + bb->name());
+      } else {
+        seenNonPhi = true;
+      }
+      checkInst(in, bb);
+    }
+  }
+
+  void checkInst(const Instruction* in, const BasicBlock* bb) {
+    const std::string where = " in " + toString(in);
+    for (unsigned i = 0; i < in->numOperands(); ++i) {
+      const Value* op = in->operand(i);
+      if (!op) {
+        err("null operand" + where);
+        continue;
+      }
+      if (!isValueInScope(op)) err("operand out of scope" + where);
+    }
+    switch (in->opcode()) {
+    case Opcode::Load:
+      if (!in->operand(0)->type()->isPointer() ||
+          in->operand(0)->type()->pointee() != in->type())
+        err("load type mismatch" + where);
+      break;
+    case Opcode::Store:
+      if (!in->operand(1)->type()->isPointer() ||
+          in->operand(1)->type()->pointee() != in->operand(0)->type())
+        err("store type mismatch" + where);
+      break;
+    case Opcode::Gep:
+      if (!in->operand(0)->type()->isPointer() ||
+          in->operand(0)->type() != in->type())
+        err("gep type mismatch" + where);
+      if (in->operand(1)->type() != Type::i64())
+        err("gep index not i64" + where);
+      break;
+    case Opcode::Phi: {
+      if (in->numPhiIncoming() != in->numOperands())
+        err("phi incoming/operand count mismatch" + where);
+      for (unsigned i = 0; i < in->numOperands(); ++i)
+        if (in->operand(i)->type() != in->type())
+          err("phi operand type mismatch" + where);
+      // Incoming blocks must exactly match predecessors.
+      auto preds = bb->predecessors();
+      std::set<const BasicBlock*> predSet(preds.begin(), preds.end());
+      std::set<const BasicBlock*> inSet;
+      for (unsigned i = 0; i < in->numPhiIncoming(); ++i)
+        inSet.insert(in->phiBlock(i));
+      if (predSet != inSet) err("phi incoming blocks != predecessors" + where);
+      break;
+    }
+    case Opcode::Call: {
+      if (!in->callee()) {
+        err("call without callee" + where);
+        break;
+      }
+      if (in->callee()->numArgs() != in->numOperands())
+        err("call arity mismatch" + where);
+      else
+        for (unsigned i = 0; i < in->numOperands(); ++i)
+          if (in->operand(i)->type() != in->callee()->arg(i)->type())
+            err("call arg type mismatch" + where);
+      if (in->callee()->returnType() != in->type())
+        err("call return type mismatch" + where);
+      break;
+    }
+    case Opcode::Ret: {
+      const bool isVoid = f_.returnType()->isVoid();
+      if (isVoid && in->numOperands() != 0) err("ret value in void fn" + where);
+      if (!isVoid &&
+          (in->numOperands() != 1 ||
+           in->operand(0)->type() != f_.returnType()))
+        err("ret type mismatch" + where);
+      break;
+    }
+    case Opcode::CondBr:
+      if (in->numOperands() != 1 || !in->operand(0)->type()->isBool())
+        err("condbr condition not i1" + where);
+      if (in->numSuccs() != 2) err("condbr needs 2 successors" + where);
+      break;
+    case Opcode::Br:
+      if (in->numSuccs() != 1) err("br needs 1 successor" + where);
+      break;
+    default:
+      if (in->isBinaryOp()) {
+        if (in->operand(0)->type() != in->operand(1)->type() ||
+            in->operand(0)->type() != in->type())
+          err("binary op type mismatch" + where);
+      }
+      break;
+    }
+  }
+
+  const Function& f_;
+  std::set<const Instruction*> defs_;
+  std::vector<std::string> errors_;
+};
+
+} // namespace
+
+std::vector<std::string> verify(const Function& f) {
+  return FunctionVerifier(f).run();
+}
+
+std::vector<std::string> verify(const Module& m) {
+  std::vector<std::string> out;
+  for (const Function* f : m) {
+    auto errs = verify(*f);
+    out.insert(out.end(), errs.begin(), errs.end());
+  }
+  return out;
+}
+
+void verifyOrDie(const Module& m) {
+  auto errs = verify(m);
+  if (errs.empty()) return;
+  std::fprintf(stderr, "IR verification failed for module %s:\n",
+               m.name().c_str());
+  for (const auto& e : errs) std::fprintf(stderr, "  %s\n", e.c_str());
+  std::fprintf(stderr, "%s\n", toString(&m).c_str());
+  CARE_UNREACHABLE("invalid IR");
+}
+
+} // namespace care::ir

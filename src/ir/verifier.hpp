@@ -1,0 +1,20 @@
+// Structural and type verifier for CARE-IR modules.
+//
+// Run after every front-end lowering and every optimization pass in tests.
+// Returns a list of human-readable violations (empty == valid).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace care::ir {
+
+std::vector<std::string> verify(const Function& f);
+std::vector<std::string> verify(const Module& m);
+
+/// Abort with diagnostics if the module is invalid (test helper).
+void verifyOrDie(const Module& m);
+
+} // namespace care::ir

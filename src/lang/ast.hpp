@@ -1,0 +1,122 @@
+// MiniC abstract syntax tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace care::lang {
+
+/// Scalar base types in declaration order of width.
+enum class BaseType : std::uint8_t { Void, Int, Long, Float, Double };
+
+/// A MiniC type: scalar base + pointer depth (0 = scalar).
+struct CType {
+  BaseType base = BaseType::Void;
+  std::uint8_t ptrDepth = 0;
+
+  bool isPointer() const { return ptrDepth > 0; }
+  bool operator==(const CType&) const = default;
+};
+
+struct Pos {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+};
+
+// --- expressions ----------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, VarRef, Index, Call, Unary, Binary, Assign, Ternary, Cast,
+};
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  LAnd, LOr,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+struct Expr {
+  ExprKind kind;
+  Pos pos;
+
+  // literals
+  std::int64_t intVal = 0;
+  double floatVal = 0;
+
+  // VarRef / Call
+  std::string name;
+
+  // operators
+  BinOp binOp = BinOp::Add;
+  UnOp unOp = UnOp::Neg;
+
+  // Cast target
+  CType castType;
+
+  // children: Index{base,index}, Call{args...}, Unary{operand},
+  // Binary{lhs,rhs}, Assign{target,value}, Ternary{cond,then,else},
+  // Cast{operand}
+  std::vector<std::unique_ptr<Expr>> kids;
+
+  explicit Expr(ExprKind k, Pos p) : kind(k), pos(p) {}
+};
+
+// --- statements -------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  ExprStmt, Decl, If, While, For, Return, Break, Continue, Block, Assert,
+};
+
+struct Stmt {
+  StmtKind kind;
+  Pos pos;
+
+  // Decl
+  CType declType;
+  std::string declName;
+  std::int64_t arraySize = 0; // >0 means local array declaration
+
+  // children layout by kind:
+  //   ExprStmt{e} Decl{init?} If{cond,then,else?} While{cond,body}
+  //   For{init?,cond?,step?,body}  (missing parts are null)
+  //   Return{value?} Assert{cond} Block{--}
+  std::vector<std::unique_ptr<Expr>> exprs;
+  std::vector<std::unique_ptr<Stmt>> stmts;
+
+  explicit Stmt(StmtKind k, Pos p) : kind(k), pos(p) {}
+};
+
+// --- top level --------------------------------------------------------------
+
+struct Param {
+  CType type;
+  std::string name;
+};
+
+struct FuncDecl {
+  CType retType;
+  std::string name;
+  std::vector<Param> params;
+  std::unique_ptr<Stmt> body; // null for extern declarations
+  bool isExtern = false;
+  Pos pos;
+};
+
+struct GlobalDecl {
+  CType type;
+  std::string name;
+  std::int64_t arraySize = 0;       // 0 = scalar
+  std::unique_ptr<Expr> init;       // scalar constant initializer or null
+  Pos pos;
+};
+
+struct TranslationUnit {
+  std::vector<GlobalDecl> globals;
+  std::vector<FuncDecl> funcs;
+};
+
+} // namespace care::lang

@@ -1,0 +1,28 @@
+// MiniC -> CARE-IR compilation entry point.
+//
+// Lowering mirrors clang -O0: every local lives in an alloca, every use is
+// a load, every assignment a store. The optimizer (src/opt) then promotes
+// to SSA for the paper's "-O1" configuration. Each emitted instruction
+// carries a DebugLoc derived from the MiniC source position; CARE's
+// recovery-table keys are built from these.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace care::lang {
+
+/// Compile MiniC `source` into `mod`, registering `fileName` in the module
+/// file table for debug locations. Throws care::Error on lex/parse/type
+/// errors. May be called repeatedly to aggregate several sources.
+void compileIntoModule(const std::string& source, const std::string& fileName,
+                       ir::Module& mod);
+
+/// Compute the paper's "simple call" attribute (§3.2: callee updates no
+/// globals or pointer arguments and allocates nothing) for every function in
+/// the module, to a fixed point. compileIntoModule() calls this; exposed for
+/// tests and for modules built directly with IRBuilder.
+void markSimpleFunctions(ir::Module& mod);
+
+} // namespace care::lang

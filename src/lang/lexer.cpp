@@ -1,0 +1,229 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace care::lang {
+
+const char* tokName(Tok t) {
+  switch (t) {
+  case Tok::End: return "<eof>";
+  case Tok::Ident: return "identifier";
+  case Tok::IntLit: return "integer literal";
+  case Tok::FloatLit: return "float literal";
+  case Tok::KwInt: return "int";
+  case Tok::KwLong: return "long";
+  case Tok::KwFloat: return "float";
+  case Tok::KwDouble: return "double";
+  case Tok::KwVoid: return "void";
+  case Tok::KwIf: return "if";
+  case Tok::KwElse: return "else";
+  case Tok::KwFor: return "for";
+  case Tok::KwWhile: return "while";
+  case Tok::KwReturn: return "return";
+  case Tok::KwBreak: return "break";
+  case Tok::KwContinue: return "continue";
+  case Tok::KwAssert: return "assert";
+  case Tok::KwExtern: return "extern";
+  case Tok::LParen: return "(";
+  case Tok::RParen: return ")";
+  case Tok::LBrace: return "{";
+  case Tok::RBrace: return "}";
+  case Tok::LBracket: return "[";
+  case Tok::RBracket: return "]";
+  case Tok::Comma: return ",";
+  case Tok::Semi: return ";";
+  case Tok::Plus: return "+";
+  case Tok::Minus: return "-";
+  case Tok::Star: return "*";
+  case Tok::Slash: return "/";
+  case Tok::Percent: return "%";
+  case Tok::Assign: return "=";
+  case Tok::EqEq: return "==";
+  case Tok::NotEq: return "!=";
+  case Tok::Lt: return "<";
+  case Tok::Le: return "<=";
+  case Tok::Gt: return ">";
+  case Tok::Ge: return ">=";
+  case Tok::AmpAmp: return "&&";
+  case Tok::PipePipe: return "||";
+  case Tok::Not: return "!";
+  case Tok::Question: return "?";
+  case Tok::Colon: return ":";
+  }
+  return "<bad>";
+}
+
+std::vector<Token> tokenize(const std::string& src) {
+  static const std::map<std::string, Tok> kKeywords = {
+      {"int", Tok::KwInt},         {"long", Tok::KwLong},
+      {"float", Tok::KwFloat},     {"double", Tok::KwDouble},
+      {"void", Tok::KwVoid},       {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"for", Tok::KwFor},
+      {"while", Tok::KwWhile},     {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"assert", Tok::KwAssert},   {"extern", Tok::KwExtern},
+  };
+
+  std::vector<Token> out;
+  std::uint32_t line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k = 0) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  auto advance = [&]() {
+    if (src[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto lexError = [&](const std::string& msg) {
+    raise("lex error at " + std::to_string(line) + ":" + std::to_string(col) +
+          ": " + msg);
+  };
+
+  while (i < n) {
+    const char c = peek();
+    // whitespace
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // comments
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < n && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= n) lexError("unterminated block comment");
+      advance();
+      advance();
+      continue;
+    }
+
+    Token t;
+    t.line = line;
+    t.col = col;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        ident.push_back(peek());
+        advance();
+      }
+      auto kw = kKeywords.find(ident);
+      if (kw != kKeywords.end()) {
+        t.kind = kw->second;
+      } else {
+        t.kind = Tok::Ident;
+        t.text = std::move(ident);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string num;
+      bool isFloat = false;
+      while (i < n) {
+        const char d = peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          num.push_back(d);
+          advance();
+        } else if (d == '.') {
+          if (isFloat) lexError("malformed number");
+          isFloat = true;
+          num.push_back(d);
+          advance();
+        } else if (d == 'e' || d == 'E') {
+          isFloat = true;
+          num.push_back(d);
+          advance();
+          if (peek() == '+' || peek() == '-') {
+            num.push_back(peek());
+            advance();
+          }
+        } else {
+          break;
+        }
+      }
+      if (isFloat) {
+        t.kind = Tok::FloatLit;
+        t.floatVal = std::stod(num);
+      } else {
+        t.kind = Tok::IntLit;
+        t.intVal = std::stoll(num);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char second, Tok ifTwo, Tok ifOne) {
+      advance();
+      if (peek() == second) {
+        advance();
+        t.kind = ifTwo;
+      } else {
+        t.kind = ifOne;
+      }
+    };
+
+    switch (c) {
+    case '(': t.kind = Tok::LParen; advance(); break;
+    case ')': t.kind = Tok::RParen; advance(); break;
+    case '{': t.kind = Tok::LBrace; advance(); break;
+    case '}': t.kind = Tok::RBrace; advance(); break;
+    case '[': t.kind = Tok::LBracket; advance(); break;
+    case ']': t.kind = Tok::RBracket; advance(); break;
+    case ',': t.kind = Tok::Comma; advance(); break;
+    case ';': t.kind = Tok::Semi; advance(); break;
+    case '+': t.kind = Tok::Plus; advance(); break;
+    case '-': t.kind = Tok::Minus; advance(); break;
+    case '*': t.kind = Tok::Star; advance(); break;
+    case '/': t.kind = Tok::Slash; advance(); break;
+    case '%': t.kind = Tok::Percent; advance(); break;
+    case '?': t.kind = Tok::Question; advance(); break;
+    case ':': t.kind = Tok::Colon; advance(); break;
+    case '=': two('=', Tok::EqEq, Tok::Assign); break;
+    case '!': two('=', Tok::NotEq, Tok::Not); break;
+    case '<': two('=', Tok::Le, Tok::Lt); break;
+    case '>': two('=', Tok::Ge, Tok::Gt); break;
+    case '&':
+      advance();
+      if (peek() != '&') lexError("expected '&&'");
+      advance();
+      t.kind = Tok::AmpAmp;
+      break;
+    case '|':
+      advance();
+      if (peek() != '|') lexError("expected '||'");
+      advance();
+      t.kind = Tok::PipePipe;
+      break;
+    default:
+      lexError(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(t));
+  }
+
+  Token eof;
+  eof.kind = Tok::End;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+} // namespace care::lang

@@ -1,0 +1,50 @@
+// MiniC lexer.
+//
+// MiniC is the small C-like language the scientific workloads are written
+// in (see src/workloads/). It covers what the paper's mini-apps need:
+// int/long/float/double scalars, pointers, 1-D arrays, functions, control
+// flow, asserts and the emit() output builtin. Tokens carry line/column so
+// codegen can attach DebugLocs — the source of CARE recovery-table keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace care::lang {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  FloatLit,
+  // keywords
+  KwInt, KwLong, KwFloat, KwDouble, KwVoid,
+  KwIf, KwElse, KwFor, KwWhile, KwReturn, KwBreak, KwContinue,
+  KwAssert, KwExtern,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi,
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  Assign,       // =
+  EqEq, NotEq, Lt, Le, Gt, Ge,
+  AmpAmp, PipePipe, Not,
+  Question, Colon,
+};
+
+const char* tokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // identifier spelling
+  std::int64_t intVal = 0;
+  double floatVal = 0;
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+};
+
+/// Tokenize `source`. Throws care::Error with line/col on bad input.
+std::vector<Token> tokenize(const std::string& source);
+
+} // namespace care::lang

@@ -1,0 +1,12 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "lang/lexer.hpp"
+
+namespace care::lang {
+
+/// Parse a MiniC translation unit. Throws care::Error with position info.
+TranslationUnit parse(const std::string& source);
+
+} // namespace care::lang

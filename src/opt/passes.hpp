@@ -1,0 +1,45 @@
+// Optimization passes over CARE-IR.
+//
+// The paper evaluates CARE at -O0 and -O1; the coverage differences (Fig. 7)
+// come from what these passes do: mem2reg keeps induction variables in
+// registers updated in place (hurting HPCCG/CoMD coverage), while redundant
+// load elimination and LICM extend recovery-kernel coverage scopes
+// (helping miniMD/GTC-P, the paper's Fig. 8 scenario).
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace care::opt {
+
+enum class OptLevel { O0, O1 };
+
+/// Remove unreachable blocks, fold constant branches, merge trivial chains.
+bool simplifyCfg(ir::Function& f);
+
+/// Promote scalar allocas to SSA registers (phi insertion + renaming).
+bool mem2reg(ir::Function& f);
+
+/// Constant folding + algebraic identities (x+0, x*1, x*0, const cmp, ...).
+bool constFold(ir::Function& f);
+
+/// Dominator-scoped common-subexpression elimination over pure ops, plus
+/// block-local store-to-load / load-to-load forwarding with a conservative
+/// base-object alias check.
+bool cse(ir::Function& f);
+
+/// Loop-invariant code motion of pure instructions into preheaders.
+bool licm(ir::Function& f);
+
+/// Delete unused side-effect-free instructions.
+bool dce(ir::Function& f);
+
+/// Inline small defined callees (module-wide, bottom-up, non-recursive).
+/// Part of the -O1 pipeline, matching real compilers' behaviour on the tiny
+/// helpers MD/PIC codes keep in their hot loops.
+bool inlineFunctions(ir::Module& m);
+
+/// Run the pipeline for `level` over every defined function, to a fixed
+/// point per function. O0 = no passes (clang -O0 equivalent); O1 = all.
+void optimize(ir::Module& m, OptLevel level);
+
+} // namespace care::opt

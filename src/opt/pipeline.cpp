@@ -1,0 +1,29 @@
+// The O0/O1 pass pipelines (paper §5.2 evaluates CARE at both levels).
+#include "ir/verifier.hpp"
+#include "opt/passes.hpp"
+
+namespace care::opt {
+
+void optimize(ir::Module& m, OptLevel level) {
+  if (level == OptLevel::O0) return;
+  inlineFunctions(m);
+  for (ir::Function* f : m) {
+    if (f->isDeclaration()) continue;
+    // Clean the CFG first: mem2reg's renaming walk assumes every block is
+    // reachable.
+    simplifyCfg(*f);
+    mem2reg(*f);
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 8) {
+      changed = false;
+      changed |= constFold(*f);
+      changed |= cse(*f);
+      changed |= licm(*f);
+      changed |= dce(*f);
+      changed |= simplifyCfg(*f);
+    }
+  }
+}
+
+} // namespace care::opt

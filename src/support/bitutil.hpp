@@ -1,0 +1,33 @@
+// Bit-manipulation helpers for the fault injector.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace care {
+
+/// Flip bit `bit` (0 = LSB) of a 64-bit value.
+inline std::uint64_t flipBit(std::uint64_t v, unsigned bit) {
+  return v ^ (1ull << (bit & 63u));
+}
+
+/// Flip bit `bit` of the IEEE-754 representation of a double.
+inline double flipBitF64(double v, unsigned bit) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u = flipBit(u, bit);
+  double out;
+  std::memcpy(&out, &u, sizeof(out));
+  return out;
+}
+
+/// Flip bit `bit` of a byte buffer of length `len` (bit counted LSB-first
+/// across the buffer). Used when the fault destination is a memory cell.
+inline void flipBitBuffer(void* data, std::size_t len, unsigned bit) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  const std::size_t byteIdx = (bit / 8) % len;
+  bytes[byteIdx] = static_cast<std::uint8_t>(bytes[byteIdx] ^
+                                             (1u << (bit % 8)));
+}
+
+} // namespace care

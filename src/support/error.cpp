@@ -1,0 +1,16 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace care {
+
+void fatal(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "CARE internal error at %s:%d: %s\n", file, line,
+               msg.c_str());
+  std::abort();
+}
+
+void raise(const std::string& msg) { throw Error(msg); }
+
+} // namespace care

@@ -1,0 +1,31 @@
+// Error handling primitives shared by every CARE module.
+//
+// Internal invariant violations abort with a message (CARE_ASSERT); errors
+// attributable to user input (bad MiniC source, malformed serialized module)
+// throw care::Error so tools can report them and continue.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace care {
+
+/// Exception for user-facing errors (parse errors, bad files, API misuse).
+class Error : public std::runtime_error {
+public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+[[noreturn]] void fatal(const char* file, int line, const std::string& msg);
+
+/// printf-like convenience: throw Error with a formatted message.
+[[noreturn]] void raise(const std::string& msg);
+
+} // namespace care
+
+#define CARE_ASSERT(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond)) ::care::fatal(__FILE__, __LINE__, msg);                      \
+  } while (0)
+
+#define CARE_UNREACHABLE(msg) ::care::fatal(__FILE__, __LINE__, msg)

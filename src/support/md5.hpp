@@ -1,0 +1,48 @@
+// Self-contained MD5 (RFC 1321).
+//
+// The CARE paper hashes the (file, line, column) debug tuple with MD5 (via
+// the mhash library) to form recovery-table keys; we reimplement MD5 so the
+// key scheme is identical without an external dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace care {
+
+/// 128-bit MD5 digest.
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  bool operator==(const Md5Digest&) const = default;
+
+  /// Lowercase hex rendering (32 chars).
+  std::string hex() const;
+
+  /// First 8 bytes as a little-endian u64 — convenient dense map key.
+  std::uint64_t low64() const;
+};
+
+/// Incremental MD5 hasher.
+class Md5 {
+public:
+  Md5();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+  Md5Digest finish();
+
+  /// One-shot convenience.
+  static Md5Digest hash(std::string_view s);
+
+private:
+  void processBlock(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t totalBytes_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t bufferLen_ = 0;
+};
+
+} // namespace care

@@ -1,0 +1,66 @@
+// Deterministic PRNG used across fault-injection campaigns.
+//
+// splitmix64 seeding + xoshiro256** generation. Injection campaigns must be
+// reproducible from a seed so that every table/figure can be regenerated
+// bit-for-bit; std::mt19937 is avoided because its state is bulky to fork
+// per-experiment.
+#pragma once
+
+#include <cstdint>
+
+namespace care {
+
+/// xoshiro256** with splitmix64 seeding. Cheap to copy/fork.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 to spread a small seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire-style rejection-free-enough reduction; bias is negligible for
+    // campaign sizes but we reject the tail anyway for exactness.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fork an independent stream (for per-injection determinism).
+  Rng fork() { return Rng(next()); }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+} // namespace care

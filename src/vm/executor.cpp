@@ -1,0 +1,459 @@
+#include "vm/executor.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace care::vm {
+
+using backend::kNoReg;
+using backend::MemRef;
+using backend::MFunction;
+using backend::MInst;
+using backend::MOp;
+using backend::MType;
+using ir::CmpPred;
+
+const char* trapKindName(TrapKind k) {
+  switch (k) {
+  case TrapKind::SegFault: return "SIGSEGV";
+  case TrapKind::Bus: return "SIGBUS";
+  case TrapKind::Fpe: return "SIGFPE";
+  case TrapKind::Abort: return "SIGABRT";
+  case TrapKind::BadPC: return "SIGILL";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t norm32(std::uint64_t v) {
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+}
+
+bool intCmp(CmpPred p, std::int64_t a, std::int64_t b) {
+  switch (p) {
+  case CmpPred::EQ: return a == b;
+  case CmpPred::NE: return a != b;
+  case CmpPred::LT: return a < b;
+  case CmpPred::LE: return a <= b;
+  case CmpPred::GT: return a > b;
+  case CmpPred::GE: return a >= b;
+  }
+  return false;
+}
+
+bool fpCmp(CmpPred p, double a, double b) {
+  switch (p) {
+  case CmpPred::EQ: return a == b;
+  case CmpPred::NE: return a != b;
+  case CmpPred::LT: return a < b;
+  case CmpPred::LE: return a <= b;
+  case CmpPred::GT: return a > b;
+  case CmpPred::GE: return a >= b;
+  }
+  return false;
+}
+
+} // namespace
+
+Executor::Executor(const Image* image) : image_(image) {
+  const std::uint64_t sp = image_->initMemory(mem_);
+  st_.g[backend::kSP] = sp;
+  st_.g[backend::kFP] = sp;
+}
+
+std::uint64_t Executor::currentPC() const {
+  return image_->pcOf(curModule_, curFunc_, curInstr_);
+}
+
+void Executor::enableProfiling() {
+  profiling_ = true;
+  profile_.resize(image_->numModules());
+  for (std::size_t m = 0; m < image_->numModules(); ++m) {
+    const auto& fns = image_->module(m).mod->functions;
+    profile_[m].resize(fns.size());
+    for (std::size_t f = 0; f < fns.size(); ++f)
+      profile_[m][f].assign(fns[f].code.size(), 0);
+  }
+}
+
+std::uint64_t Executor::profileCount(const CodeLoc& loc) const {
+  return profile_[static_cast<std::size_t>(loc.module)]
+                 [static_cast<std::size_t>(loc.func)]
+                 [static_cast<std::size_t>(loc.instr)];
+}
+
+void Executor::armInjection(const CodeLoc& loc, std::uint64_t nth,
+                            std::function<void(Executor&)> cb) {
+  injArmed_ = true;
+  injLoc_ = loc;
+  injNth_ = nth;
+  injSeen_ = 0;
+  injCb_ = std::move(cb);
+}
+
+Executor::Checkpoint Executor::checkpoint() const {
+  Checkpoint cp;
+  cp.st = st_;
+  cp.mem = mem_.clone();
+  cp.module = curModule_;
+  cp.func = curFunc_;
+  cp.instr = curInstr_;
+  cp.started = started_;
+  cp.instrCount = instrCount_;
+  cp.output = output_;
+  return cp;
+}
+
+void Executor::restore(const Checkpoint& cp) {
+  st_ = cp.st;
+  mem_.restoreFrom(cp.mem);
+  started_ = cp.started;
+  instrCount_ = cp.instrCount;
+  output_ = cp.output;
+  jumpTo({cp.module, cp.func, cp.instr});
+}
+
+bool Executor::jumpTo(const CodeLoc& loc) {
+  if (!loc.valid()) return false;
+  curModule_ = loc.module;
+  curFunc_ = loc.func;
+  curInstr_ = loc.instr;
+  fn_ = &image_->function(loc);
+  return true;
+}
+
+RunResult Executor::run(const std::string& entry) {
+  RunResult res;
+  if (!started_) {
+    FuncRef start = image_->findFunction(entry);
+    if (!start.valid()) raise("entry function not found: " + entry);
+    jumpTo({start.module, start.func, 0});
+    // Push the halt sentinel as the entry frame's return address.
+    st_.g[backend::kSP] -= 8;
+    mem_.store(st_.g[backend::kSP], MType::I64, Image::kHaltPC);
+    started_ = true;
+  }
+
+  auto* g = st_.g;
+  auto* f = st_.f;
+
+  for (;;) {
+    if (instrCount_ >= budget_) {
+      res.status = RunStatus::BudgetExceeded;
+      res.instrCount = instrCount_;
+      return res;
+    }
+    const MInst& in = fn_->code[static_cast<std::size_t>(curInstr_)];
+    ++instrCount_;
+    if (profiling_)
+      ++profile_[static_cast<std::size_t>(curModule_)]
+                [static_cast<std::size_t>(curFunc_)]
+                [static_cast<std::size_t>(curInstr_)];
+
+    // Trap delivery helper: consult the hook; Retry re-executes the same
+    // instruction (Safeguard patched the state), Propagate ends the run.
+    TrapKind trapKind{};
+    std::uint64_t trapAddr = 0;
+    bool trapped = false;
+    auto memTrap = [&](MemStatus s, std::uint64_t ea) {
+      trapKind = s == MemStatus::Unmapped ? TrapKind::SegFault : TrapKind::Bus;
+      trapAddr = ea;
+      trapped = true;
+    };
+
+    // Effective address of the instruction's memory operand.
+    auto ea = [&](const MemRef& m) {
+      std::uint64_t a = static_cast<std::uint64_t>(m.disp);
+      if (m.globalIdx >= 0)
+        a += image_->module(static_cast<std::size_t>(curModule_))
+                 .globalAddr[static_cast<std::size_t>(m.globalIdx)];
+      if (m.base != kNoReg) a += g[m.base];
+      if (m.index != kNoReg) a += g[m.index] * m.scale;
+      return a;
+    };
+
+    auto intAlu = [&](MOp op, std::uint64_t a, std::uint64_t b, bool narrow,
+                      std::uint64_t& out) -> bool {
+      const std::int64_t sa = static_cast<std::int64_t>(a);
+      const std::int64_t sb = static_cast<std::int64_t>(b);
+      std::uint64_t r = 0;
+      switch (op) {
+      case MOp::IAdd: r = a + b; break;
+      case MOp::ISub: r = a - b; break;
+      case MOp::IMul: r = a * b; break;
+      case MOp::IDiv:
+      case MOp::IRem: {
+        if (narrow) {
+          const std::int32_t na = static_cast<std::int32_t>(a);
+          const std::int32_t nb = static_cast<std::int32_t>(b);
+          if (nb == 0 || (na == INT32_MIN && nb == -1)) {
+            trapKind = TrapKind::Fpe;
+            trapAddr = 0;
+            trapped = true;
+            return false;
+          }
+          r = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(op == MOp::IDiv ? na / nb : na % nb));
+        } else {
+          if (sb == 0 || (sa == INT64_MIN && sb == -1)) {
+            trapKind = TrapKind::Fpe;
+            trapAddr = 0;
+            trapped = true;
+            return false;
+          }
+          r = static_cast<std::uint64_t>(op == MOp::IDiv ? sa / sb : sa % sb);
+        }
+        out = narrow ? norm32(r) : r;
+        return true;
+      }
+      case MOp::IAnd: r = a & b; break;
+      case MOp::IOr: r = a | b; break;
+      case MOp::IXor: r = a ^ b; break;
+      case MOp::IShl: r = a << (b & (narrow ? 31 : 63)); break;
+      case MOp::IAshr:
+        r = static_cast<std::uint64_t>(sa >> (b & (narrow ? 31 : 63)));
+        break;
+      default: CARE_UNREACHABLE("bad int alu op");
+      }
+      out = narrow ? norm32(r) : r;
+      return true;
+    };
+
+    auto fpAlu = [&](MOp op, double a, double b, bool narrow) {
+      double r = 0;
+      switch (op) {
+      case MOp::FAdd: r = a + b; break;
+      case MOp::FSub: r = a - b; break;
+      case MOp::FMul: r = a * b; break;
+      case MOp::FDiv: r = a / b; break;
+      default: CARE_UNREACHABLE("bad fp alu op");
+      }
+      return narrow ? static_cast<double>(static_cast<float>(r)) : r;
+    };
+
+    std::int32_t nextInstr = curInstr_ + 1;
+    std::int32_t nextModule = curModule_, nextFunc = curFunc_;
+    bool crossJump = false;
+    std::uint64_t crossPC = 0;
+
+    switch (in.op) {
+    case MOp::Mov: g[in.dst] = g[in.src1]; break;
+    case MOp::MovImm: g[in.dst] = static_cast<std::uint64_t>(in.imm); break;
+    case MOp::FMov: f[in.dst] = f[in.src1]; break;
+    case MOp::FMovImm: f[in.dst] = in.fimm; break;
+    case MOp::Load: {
+      const std::uint64_t a = ea(in.mem);
+      if (backend::mtypeIsFP(in.mem.type)) {
+        double v;
+        const MemStatus s = mem_.loadF(a, in.mem.type, v);
+        if (s != MemStatus::Ok) { memTrap(s, a); break; }
+        f[in.dst] = v;
+      } else {
+        std::uint64_t v;
+        const MemStatus s = mem_.load(a, in.mem.type, v);
+        if (s != MemStatus::Ok) { memTrap(s, a); break; }
+        g[in.dst] = v;
+      }
+      break;
+    }
+    case MOp::Store: {
+      const std::uint64_t a = ea(in.mem);
+      const MemStatus s =
+          backend::mtypeIsFP(in.mem.type)
+              ? mem_.storeF(a, in.mem.type, f[in.src1])
+              : mem_.store(a, in.mem.type, g[in.src1]);
+      if (s != MemStatus::Ok) memTrap(s, a);
+      break;
+    }
+    case MOp::Lea: g[in.dst] = ea(in.mem); break;
+    case MOp::IAdd: case MOp::ISub: case MOp::IMul: case MOp::IDiv:
+    case MOp::IRem: case MOp::IAnd: case MOp::IOr: case MOp::IXor:
+    case MOp::IShl: case MOp::IAshr: {
+      const std::uint64_t b =
+          in.src2 != kNoReg ? g[in.src2] : static_cast<std::uint64_t>(in.imm);
+      std::uint64_t out;
+      if (intAlu(in.op, g[in.src1], b, in.narrow, out)) g[in.dst] = out;
+      break;
+    }
+    case MOp::Sext32: g[in.dst] = norm32(g[in.src1]); break;
+    case MOp::IAluMem: {
+      const std::uint64_t a = ea(in.mem);
+      std::uint64_t v;
+      const MemStatus s = mem_.load(a, in.mem.type, v);
+      if (s != MemStatus::Ok) { memTrap(s, a); break; }
+      std::uint64_t out;
+      if (intAlu(static_cast<MOp>(in.sub), g[in.src1], v, in.narrow, out))
+        g[in.dst] = out;
+      break;
+    }
+    case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+      f[in.dst] = fpAlu(in.op, f[in.src1], f[in.src2], in.narrow);
+      break;
+    case MOp::FAluMem: {
+      const std::uint64_t a = ea(in.mem);
+      double v;
+      const MemStatus s = mem_.loadF(a, in.mem.type, v);
+      if (s != MemStatus::Ok) { memTrap(s, a); break; }
+      f[in.dst] = fpAlu(static_cast<MOp>(in.sub), f[in.src1], v, in.narrow);
+      break;
+    }
+    case MOp::CvtSiToF: {
+      double r = static_cast<double>(static_cast<std::int64_t>(g[in.src1]));
+      if (in.narrow) r = static_cast<double>(static_cast<float>(r));
+      f[in.dst] = r;
+      break;
+    }
+    case MOp::CvtFToSi: {
+      const std::int64_t r = static_cast<std::int64_t>(f[in.src1]);
+      g[in.dst] = in.narrow ? norm32(static_cast<std::uint64_t>(r))
+                            : static_cast<std::uint64_t>(r);
+      break;
+    }
+    case MOp::CvtF32F64: f[in.dst] = f[in.src1]; break;
+    case MOp::CvtF64F32:
+      f[in.dst] = static_cast<double>(static_cast<float>(f[in.src1]));
+      break;
+    case MOp::SetCmp:
+      g[in.dst] = intCmp(static_cast<CmpPred>(in.sub),
+                         static_cast<std::int64_t>(g[in.src1]),
+                         in.src2 != kNoReg
+                             ? static_cast<std::int64_t>(g[in.src2])
+                             : in.imm)
+                      ? 1
+                      : 0;
+      break;
+    case MOp::FSetCmp:
+      g[in.dst] =
+          fpCmp(static_cast<CmpPred>(in.sub), f[in.src1], f[in.src2]) ? 1 : 0;
+      break;
+    case MOp::BrCmp:
+      if (intCmp(static_cast<CmpPred>(in.sub),
+                 static_cast<std::int64_t>(g[in.src1]),
+                 in.src2 != kNoReg ? static_cast<std::int64_t>(g[in.src2])
+                                   : in.imm))
+        nextInstr = in.target;
+      break;
+    case MOp::FBrCmp:
+      if (fpCmp(static_cast<CmpPred>(in.sub), f[in.src1], f[in.src2]))
+        nextInstr = in.target;
+      break;
+    case MOp::Jmp: nextInstr = in.target; break;
+    case MOp::Call: {
+      FuncRef target;
+      if (in.externCall) {
+        target = image_->module(static_cast<std::size_t>(curModule_))
+                     .externTargets[static_cast<std::size_t>(in.target)];
+      } else {
+        target = {curModule_, in.target};
+      }
+      const std::uint64_t retPC =
+          image_->pcOf(curModule_, curFunc_, curInstr_ + 1);
+      const std::uint64_t newSP = g[backend::kSP] - 8;
+      const MemStatus s = mem_.store(newSP, MType::I64, retPC);
+      if (s != MemStatus::Ok) { memTrap(s, newSP); break; }
+      g[backend::kSP] = newSP;
+      nextModule = target.module;
+      nextFunc = target.func;
+      nextInstr = 0;
+      break;
+    }
+    case MOp::Ret: {
+      const std::uint64_t sp = g[backend::kSP];
+      std::uint64_t retPC;
+      const MemStatus s = mem_.load(sp, MType::I64, retPC);
+      if (s != MemStatus::Ok) { memTrap(s, sp); break; }
+      g[backend::kSP] = sp + 8;
+      if (retPC == Image::kHaltPC) {
+        res.status = RunStatus::Done;
+        res.instrCount = instrCount_;
+        res.exitCode = static_cast<std::int64_t>(g[backend::kRet]);
+        return res;
+      }
+      crossJump = true;
+      crossPC = retPC;
+      break;
+    }
+    case MOp::MathCall:
+      f[in.dst] = backend::evalMathFn(
+          static_cast<backend::MathFn>(in.sub), f[in.src1],
+          in.src2 != kNoReg ? f[in.src2] : 0.0);
+      break;
+    case MOp::Emit: {
+      std::uint64_t bits;
+      static_assert(sizeof(double) == 8);
+      std::memcpy(&bits, &f[in.src1], 8);
+      output_.push_back(bits);
+      break;
+    }
+    case MOp::EmitI: output_.push_back(g[in.src1]); break;
+    case MOp::Abort:
+      trapKind = TrapKind::Abort;
+      trapped = true;
+      break;
+    case MOp::Barrier:
+      // Yield to the harness; resuming run() continues after the barrier.
+      curInstr_ = nextInstr;
+      res.status = RunStatus::Yielded;
+      res.instrCount = instrCount_;
+      return res;
+    }
+
+    if (trapped) {
+      Trap trap{trapKind, currentPC(), trapAddr};
+      if (trapHook_) {
+        const TrapAction act = trapHook_(*this, trap);
+        if (act == TrapAction::Retry) continue; // re-execute, state patched
+      }
+      res.status = RunStatus::Trapped;
+      res.trap = trap;
+      res.instrCount = instrCount_;
+      return res;
+    }
+
+    // Injection: fires after the n-th completed execution of the target.
+    if (injArmed_ && curInstr_ == injLoc_.instr && curFunc_ == injLoc_.func &&
+        curModule_ == injLoc_.module) {
+      if (++injSeen_ == injNth_) {
+        injArmed_ = false;
+        injCb_(*this);
+      }
+    }
+
+    if (crossJump) {
+      const CodeLoc loc = image_->locate(crossPC);
+      if (!loc.valid()) {
+        Trap trap{TrapKind::BadPC, crossPC, 0};
+        // A wild return address is not recoverable by CARE; still give the
+        // hook a chance to observe it.
+        if (trapHook_) {
+          const TrapAction act = trapHook_(*this, trap);
+          (void)act; // Retry is meaningless for a lost PC
+        }
+        res.status = RunStatus::Trapped;
+        res.trap = trap;
+        res.instrCount = instrCount_;
+        return res;
+      }
+      jumpTo(loc);
+      continue;
+    }
+    if (nextModule != curModule_ || nextFunc != curFunc_) {
+      jumpTo({nextModule, nextFunc, nextInstr});
+      continue;
+    }
+    if (nextInstr < 0 ||
+        static_cast<std::size_t>(nextInstr) >= fn_->code.size()) {
+      Trap trap{TrapKind::BadPC, currentPC(), 0};
+      res.status = RunStatus::Trapped;
+      res.trap = trap;
+      res.instrCount = instrCount_;
+      return res;
+    }
+    curInstr_ = nextInstr;
+  }
+}
+
+} // namespace care::vm

@@ -1,0 +1,141 @@
+// The MIR executor: CARE's stand-in for a CPU + OS process.
+//
+// Executes one loaded Image with full architectural state (16 integer +
+// 16 FP registers, PC, a real call stack in simulated memory). Hardware
+// traps (SegFault/Bus/Fpe/Abort/BadPC) are delivered to an installable
+// trap hook — the analogue of a signal handler — which may patch machine
+// state and request re-execution of the faulting instruction. That hook is
+// exactly where CARE's Safeguard runtime plugs in.
+//
+// Two instrumentation facilities serve the evaluation harness:
+//  * profiling mode counts executions of every static instruction (the
+//    paper's Pin-based profile for execution-weighted injection sampling);
+//  * an armed injection fires a callback right after the n-th execution of
+//    a chosen static instruction (the paper's GDB/ptrace injector).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "vm/loader.hpp"
+
+namespace care::vm {
+
+enum class TrapKind : std::uint8_t { SegFault, Bus, Fpe, Abort, BadPC };
+
+const char* trapKindName(TrapKind k);
+
+struct Trap {
+  TrapKind kind = TrapKind::SegFault;
+  std::uint64_t pc = 0;   // address of the faulting instruction
+  std::uint64_t addr = 0; // faulting data address (SegFault/Bus)
+};
+
+enum class TrapAction : std::uint8_t { Propagate, Retry };
+
+struct MachineState {
+  std::uint64_t g[backend::kNumRegs] = {};
+  double f[backend::kNumRegs] = {};
+};
+
+enum class RunStatus : std::uint8_t { Done, Trapped, BudgetExceeded, Yielded };
+
+struct RunResult {
+  RunStatus status = RunStatus::Done;
+  Trap trap;
+  std::uint64_t instrCount = 0;
+  std::int64_t exitCode = 0;
+};
+
+class Executor {
+public:
+  explicit Executor(const Image* image);
+
+  using TrapHook = std::function<TrapAction(Executor&, const Trap&)>;
+  void setTrapHook(TrapHook hook) { trapHook_ = std::move(hook); }
+
+  void setBudget(std::uint64_t maxInstrs) { budget_ = maxInstrs; }
+
+  // --- instrumentation ------------------------------------------------------
+  void enableProfiling();
+  /// Execution count of static instruction (module, func, instr); valid
+  /// after a profiled run.
+  std::uint64_t profileCount(const CodeLoc& loc) const;
+
+  /// After the `nth` (1-based) completed execution of the instruction at
+  /// `loc`, invoke `cb` once.
+  void armInjection(const CodeLoc& loc, std::uint64_t nth,
+                    std::function<void(Executor&)> cb);
+
+  // --- checkpoint / restart (the C/R baseline CARE is compared to) --------
+  /// Full process image: registers, memory, position, emitted output.
+  struct Checkpoint {
+    MachineState st;
+    Memory mem;
+    std::int32_t module = 0, func = 0, instr = 0;
+    bool started = false;
+    std::uint64_t instrCount = 0;
+    std::vector<std::uint64_t> output;
+    /// Checkpoint size in bytes (what a real C/R system would write).
+    std::uint64_t bytes() const { return mem.mappedBytes() + sizeof(st); }
+  };
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& cp);
+
+  // --- run ----------------------------------------------------------------
+  /// Execute from `entry`. A Barrier instruction (MiniC `mpi_barrier()`)
+  /// yields with RunStatus::Yielded; calling run() again resumes right
+  /// after it — the harness hook multi-rank job simulation is built on.
+  RunResult run(const std::string& entry = "main");
+
+  // --- state access (used by hooks, Safeguard and the injector) -----------
+  const Image* image() const { return image_; }
+  Memory& memory() { return mem_; }
+  MachineState& state() { return st_; }
+  const std::vector<std::uint64_t>& output() const { return output_; }
+  std::uint64_t instrCount() const { return instrCount_; }
+  /// PC of the instruction currently being executed.
+  std::uint64_t currentPC() const;
+
+private:
+  struct Frame {
+    std::int32_t module, func;
+  };
+
+  bool jumpTo(const CodeLoc& loc);
+
+  const Image* image_;
+  Memory mem_;
+  MachineState st_;
+  std::vector<std::uint64_t> output_;
+  std::uint64_t instrCount_ = 0;
+  std::uint64_t budget_ = ~0ull;
+  TrapHook trapHook_;
+
+  // Current position.
+  std::int32_t curModule_ = 0, curFunc_ = 0, curInstr_ = 0;
+  const backend::MFunction* fn_ = nullptr;
+  bool started_ = false;
+
+  // Profiling.
+  bool profiling_ = false;
+  std::vector<std::vector<std::vector<std::uint64_t>>> profile_;
+
+  // Injection.
+  bool injArmed_ = false;
+  CodeLoc injLoc_;
+  std::uint64_t injNth_ = 0;
+  std::uint64_t injSeen_ = 0;
+  std::function<void(Executor&)> injCb_;
+};
+
+/// Run to completion, transparently resuming across Barrier yields (for
+/// single-process runs where barriers are no-ops).
+inline RunResult runToCompletion(Executor& ex,
+                                 const std::string& entry = "main") {
+  RunResult res = ex.run(entry);
+  while (res.status == RunStatus::Yielded) res = ex.run(entry);
+  return res;
+}
+
+} // namespace care::vm

@@ -1,0 +1,146 @@
+#include "vm/memory.hpp"
+
+#include <cstring>
+
+namespace care::vm {
+
+using backend::MType;
+using backend::mtypeSize;
+
+void Memory::map(std::uint64_t addr, std::uint64_t size) {
+  const std::uint64_t first = addr / kPageSize;
+  const std::uint64_t last = (addr + size + kPageSize - 1) / kPageSize;
+  for (std::uint64_t p = first; p < last; ++p) {
+    auto& slot = pages_[p];
+    if (!slot) {
+      slot = std::make_unique<Page>();
+      slot->fill(0);
+    }
+  }
+  cachePageNo_ = ~0ull;
+}
+
+bool Memory::isMapped(std::uint64_t addr) const {
+  return find(addr / kPageSize) != nullptr;
+}
+
+const Memory::Page* Memory::find(std::uint64_t pageNo) const {
+  if (pageNo == cachePageNo_) return cachePage_;
+  auto it = pages_.find(pageNo);
+  if (it == pages_.end()) return nullptr;
+  cachePageNo_ = pageNo;
+  cachePage_ = it->second.get();
+  return it->second.get();
+}
+
+Memory::Page* Memory::findOrNull(std::uint64_t pageNo) {
+  return const_cast<Page*>(find(pageNo));
+}
+
+MemStatus Memory::load(std::uint64_t addr, MType type,
+                       std::uint64_t& out) const {
+  const unsigned size = mtypeSize(type);
+  if (addr % size != 0) return MemStatus::Misaligned;
+  const Page* page = find(addr / kPageSize);
+  if (!page) return MemStatus::Unmapped;
+  const std::uint64_t off = addr % kPageSize; // size-aligned: no page split
+  std::uint64_t raw = 0;
+  std::memcpy(&raw, page->data() + off, size);
+  switch (type) {
+  case MType::I8: out = raw & 0xff; break;
+  case MType::I32:
+    out = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(raw)));
+    break;
+  default: out = raw; break;
+  }
+  return MemStatus::Ok;
+}
+
+MemStatus Memory::loadF(std::uint64_t addr, MType type, double& out) const {
+  const unsigned size = mtypeSize(type);
+  if (addr % size != 0) return MemStatus::Misaligned;
+  const Page* page = find(addr / kPageSize);
+  if (!page) return MemStatus::Unmapped;
+  const std::uint64_t off = addr % kPageSize;
+  if (type == MType::F32) {
+    float f;
+    std::memcpy(&f, page->data() + off, 4);
+    out = static_cast<double>(f);
+  } else {
+    std::memcpy(&out, page->data() + off, 8);
+  }
+  return MemStatus::Ok;
+}
+
+MemStatus Memory::store(std::uint64_t addr, MType type, std::uint64_t v) {
+  const unsigned size = mtypeSize(type);
+  if (addr % size != 0) return MemStatus::Misaligned;
+  Page* page = findOrNull(addr / kPageSize);
+  if (!page) return MemStatus::Unmapped;
+  std::memcpy(page->data() + addr % kPageSize, &v, size);
+  return MemStatus::Ok;
+}
+
+MemStatus Memory::storeF(std::uint64_t addr, MType type, double v) {
+  const unsigned size = mtypeSize(type);
+  if (addr % size != 0) return MemStatus::Misaligned;
+  Page* page = findOrNull(addr / kPageSize);
+  if (!page) return MemStatus::Unmapped;
+  if (type == MType::F32) {
+    const float f = static_cast<float>(v);
+    std::memcpy(page->data() + addr % kPageSize, &f, 4);
+  } else {
+    std::memcpy(page->data() + addr % kPageSize, &v, 8);
+  }
+  return MemStatus::Ok;
+}
+
+bool Memory::readBytes(std::uint64_t addr, void* out,
+                       std::uint64_t len) const {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (len > 0) {
+    const Page* page = find(addr / kPageSize);
+    if (!page) return false;
+    const std::uint64_t off = addr % kPageSize;
+    const std::uint64_t chunk = std::min(len, kPageSize - off);
+    std::memcpy(dst, page->data() + off, chunk);
+    dst += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+Memory Memory::clone() const {
+  Memory out;
+  for (const auto& [pageNo, page] : pages_)
+    out.pages_[pageNo] = std::make_unique<Page>(*page);
+  return out;
+}
+
+void Memory::restoreFrom(const Memory& other) {
+  pages_.clear();
+  for (const auto& [pageNo, page] : other.pages_)
+    pages_[pageNo] = std::make_unique<Page>(*page);
+  cachePageNo_ = ~0ull;
+  cachePage_ = nullptr;
+}
+
+bool Memory::writeBytes(std::uint64_t addr, const void* data,
+                        std::uint64_t len) {
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    Page* page = findOrNull(addr / kPageSize);
+    if (!page) return false;
+    const std::uint64_t off = addr % kPageSize;
+    const std::uint64_t chunk = std::min(len, kPageSize - off);
+    std::memcpy(page->data() + off, src, chunk);
+    src += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+} // namespace care::vm

@@ -1,0 +1,66 @@
+// Sparse paged memory for the VM.
+//
+// A 64-bit address space backed by 4 KiB pages allocated on demand by the
+// loader. Accessing an unmapped page raises the SegFault trap — the VM
+// analogue of the hardware page-fault -> SIGSEGV path that CARE's entire
+// recovery strategy keys off. Misaligned accesses raise Bus (SIGBUS).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "backend/mir.hpp"
+
+namespace care::vm {
+
+enum class MemStatus : std::uint8_t { Ok, Unmapped, Misaligned };
+
+class Memory {
+public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  /// Map all pages covering [addr, addr+size), zero-filled.
+  void map(std::uint64_t addr, std::uint64_t size);
+  bool isMapped(std::uint64_t addr) const;
+
+  /// Typed accesses with natural-alignment checks. Integer loads return the
+  /// value sign-extended (I32) or zero-extended (I8) into `out`.
+  MemStatus load(std::uint64_t addr, backend::MType type,
+                 std::uint64_t& out) const;
+  MemStatus loadF(std::uint64_t addr, backend::MType type, double& out) const;
+  MemStatus store(std::uint64_t addr, backend::MType type, std::uint64_t v);
+  MemStatus storeF(std::uint64_t addr, backend::MType type, double v);
+
+  /// Raw access for loader initialization and the fault injector; addr range
+  /// must be mapped.
+  bool readBytes(std::uint64_t addr, void* out, std::uint64_t len) const;
+  bool writeBytes(std::uint64_t addr, const void* data, std::uint64_t len);
+
+  std::uint64_t mappedBytes() const { return pages_.size() * kPageSize; }
+
+  /// Deep copy of the whole address space (checkpoint support).
+  Memory clone() const;
+  /// Replace this address space with a copy of `other` (restart support).
+  void restoreFrom(const Memory& other);
+
+  Memory() = default;
+  Memory(Memory&&) = default;
+  Memory& operator=(Memory&&) = default;
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  const Page* find(std::uint64_t pageNo) const;
+  Page* findOrNull(std::uint64_t pageNo);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  // One-entry lookup cache (hot loops hit the same pages repeatedly).
+  mutable std::uint64_t cachePageNo_ = ~0ull;
+  mutable Page* cachePage_ = nullptr;
+};
+
+} // namespace care::vm

@@ -1,0 +1,15 @@
+#include "workloads/workloads.hpp"
+
+namespace care::workloads {
+
+std::vector<const Workload*> allWorkloads() {
+  return {&hpccg(), &comd(), &minife(), &minimd(), &gtcp()};
+}
+
+std::vector<const Workload*> careWorkloads() {
+  // §5: "We skipped miniFE since it heavily relies on the C++ STL library
+  // which is not fully supported in current prototype."
+  return {&gtcp(), &hpccg(), &minimd(), &comd()};
+}
+
+} // namespace care::workloads

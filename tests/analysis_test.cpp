@@ -1,0 +1,185 @@
+// Unit tests for dominators, liveness, and loop info.
+#include <gtest/gtest.h>
+
+#include "analysis/liveness.hpp"
+#include "analysis/loopinfo.hpp"
+#include "ir/irbuilder.hpp"
+
+namespace care::test {
+namespace {
+
+using namespace ir;
+using analysis::DominatorTree;
+using analysis::Liveness;
+using analysis::LoopInfo;
+
+/// Diamond: entry -> {left, right} -> join.
+struct Diamond {
+  Module m{"t"};
+  Function* f;
+  BasicBlock *entry, *left, *right, *join;
+  Instruction *cmp, *lv, *rv, *phi;
+
+  Diamond() {
+    f = m.addFunction("f", Type::i32(), {Type::i32()});
+    entry = f->addBlock("entry");
+    left = f->addBlock("left");
+    right = f->addBlock("right");
+    join = f->addBlock("join");
+    IRBuilder b(&m);
+    b.setInsertPoint(entry);
+    cmp = b.icmp(CmpPred::GT, f->arg(0), m.constI32(0));
+    b.condBr(cmp, left, right);
+    b.setInsertPoint(left);
+    lv = b.add(f->arg(0), m.constI32(1));
+    b.br(join);
+    b.setInsertPoint(right);
+    rv = b.mul(f->arg(0), m.constI32(2));
+    b.br(join);
+    b.setInsertPoint(join);
+    phi = b.phi(Type::i32());
+    phi->addPhiIncoming(lv, left);
+    phi->addPhiIncoming(rv, right);
+    b.ret(phi);
+  }
+};
+
+TEST(Dominators, DiamondStructure) {
+  Diamond d;
+  DominatorTree dt(*d.f);
+  EXPECT_EQ(dt.idom(d.entry), nullptr);
+  EXPECT_EQ(dt.idom(d.left), d.entry);
+  EXPECT_EQ(dt.idom(d.right), d.entry);
+  EXPECT_EQ(dt.idom(d.join), d.entry);
+  EXPECT_TRUE(dt.dominates(d.entry, d.join));
+  EXPECT_FALSE(dt.dominates(d.left, d.join));
+  EXPECT_TRUE(dt.dominates(d.left, d.left));
+}
+
+TEST(Dominators, DiamondFrontiers) {
+  Diamond d;
+  DominatorTree dt(*d.f);
+  ASSERT_EQ(dt.frontier(d.left).size(), 1u);
+  EXPECT_EQ(dt.frontier(d.left)[0], d.join);
+  ASSERT_EQ(dt.frontier(d.right).size(), 1u);
+  EXPECT_EQ(dt.frontier(d.right)[0], d.join);
+  EXPECT_TRUE(dt.frontier(d.entry).empty());
+}
+
+TEST(Dominators, InstructionLevel) {
+  Diamond d;
+  DominatorTree dt(*d.f);
+  EXPECT_TRUE(dt.dominates(d.cmp, d.lv));
+  EXPECT_TRUE(dt.dominates(d.cmp, d.phi));
+  // left does not dominate join (the right path bypasses it).
+  EXPECT_FALSE(dt.dominates(d.lv, d.phi));
+  EXPECT_FALSE(dt.dominates(d.lv, d.rv));
+  // Same-block ordering.
+  EXPECT_TRUE(dt.dominates(d.cmp, d.entry->terminator()));
+  EXPECT_FALSE(dt.dominates(d.entry->terminator(), d.cmp));
+}
+
+/// Simple counted loop: entry -> header <-> body, header -> exit.
+struct LoopCfg {
+  Module m{"t"};
+  Function* f;
+  BasicBlock *entry, *header, *body, *exit;
+  Instruction *iphi, *acc, *next, *cmp;
+
+  LoopCfg() {
+    f = m.addFunction("f", Type::i32(), {Type::i32()});
+    entry = f->addBlock("entry");
+    header = f->addBlock("header");
+    body = f->addBlock("body");
+    exit = f->addBlock("exit");
+    IRBuilder b(&m);
+    b.setInsertPoint(entry);
+    b.br(header);
+    b.setInsertPoint(header);
+    iphi = b.phi(Type::i32(), "i");
+    cmp = b.icmp(CmpPred::LT, iphi, f->arg(0));
+    b.condBr(cmp, body, exit);
+    b.setInsertPoint(body);
+    acc = b.mul(iphi, m.constI32(3), "acc");
+    next = b.add(iphi, m.constI32(1), "next");
+    iphi->addPhiIncoming(m.constI32(0), entry);
+    iphi->addPhiIncoming(next, body);
+    b.br(header);
+    b.setInsertPoint(exit);
+    b.ret(iphi);
+  }
+};
+
+TEST(LoopInfo, DetectsNaturalLoop) {
+  LoopCfg l;
+  DominatorTree dt(*l.f);
+  LoopInfo li(*l.f, dt);
+  ASSERT_EQ(li.loops().size(), 1u);
+  const analysis::Loop* loop = li.loops()[0].get();
+  EXPECT_EQ(loop->header, l.header);
+  EXPECT_TRUE(loop->contains(l.body));
+  EXPECT_FALSE(loop->contains(l.entry));
+  EXPECT_FALSE(loop->contains(l.exit));
+  EXPECT_EQ(loop->preheader(), l.entry);
+  EXPECT_EQ(li.depth(l.body), 1u);
+  EXPECT_EQ(li.depth(l.entry), 0u);
+}
+
+TEST(Liveness, LoopCarriedValuesLiveAcrossBackEdge) {
+  LoopCfg l;
+  Liveness live(*l.f);
+  // The phi is live throughout the loop (used by cmp, mul, and the exit).
+  EXPECT_TRUE(live.liveBefore(l.iphi, l.cmp));
+  EXPECT_TRUE(live.liveBefore(l.iphi, l.acc));
+  // `next` feeds the phi along the back edge: live at the body terminator.
+  EXPECT_TRUE(live.liveBefore(l.next, l.body->terminator()));
+  // `acc` has no uses at all: dead immediately after its def.
+  EXPECT_FALSE(live.liveBefore(l.acc, l.next));
+  // `acc` is not live before its own definition either.
+  EXPECT_FALSE(live.liveBefore(l.acc, l.acc));
+}
+
+TEST(Liveness, ConstantsAndGlobalsAlwaysAvailable) {
+  LoopCfg l;
+  Liveness live(*l.f);
+  GlobalVariable* g = l.m.addGlobal(Type::f64(), 4, "g");
+  EXPECT_TRUE(live.liveBefore(l.m.constI32(3), l.cmp));
+  EXPECT_TRUE(live.liveBefore(g, l.cmp));
+  EXPECT_TRUE(live.hasNonLocalUse(g));
+}
+
+TEST(Liveness, NonLocalUseDetection) {
+  LoopCfg l;
+  Liveness live(*l.f);
+  // iphi is used in body and exit -> non-local.
+  EXPECT_TRUE(live.hasNonLocalUse(l.iphi));
+  // acc is unused -> no non-local use.
+  EXPECT_FALSE(live.hasNonLocalUse(l.acc));
+  // next is used only by the phi in header -> non-local (crosses an edge).
+  EXPECT_TRUE(live.hasNonLocalUse(l.next));
+  // The argument is used in the header, outside the entry block.
+  EXPECT_TRUE(live.hasNonLocalUse(l.f->arg(0)));
+}
+
+TEST(Liveness, ArgumentLiveUntilLastUse) {
+  LoopCfg l;
+  Liveness live(*l.f);
+  // arg(0) is used by cmp in the header; live there...
+  EXPECT_TRUE(live.liveBefore(l.f->arg(0), l.cmp));
+  // ...and still live in the body (loop back to header re-uses it).
+  EXPECT_TRUE(live.liveBefore(l.f->arg(0), l.acc));
+}
+
+TEST(Dominators, UnreachableBlockHandled) {
+  Diamond d;
+  BasicBlock* dead = d.f->addBlock("dead");
+  IRBuilder b(&d.m);
+  b.setInsertPoint(dead);
+  b.ret(d.m.constI32(9));
+  DominatorTree dt(*d.f);
+  EXPECT_FALSE(dt.reachable(dead));
+  EXPECT_TRUE(dt.reachable(d.join));
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,238 @@
+// Armor tests: slicing semantics, terminal values, kernel construction,
+// simple-call cloning, debug-tuple uniqueness, recovery-table content.
+#include <gtest/gtest.h>
+
+#include "care/armor.hpp"
+#include "ir/names.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "lang/compile.hpp"
+#include "opt/passes.hpp"
+
+namespace care::test {
+namespace {
+
+using namespace ir;
+using core::ArmorOptions;
+using core::ArmorResult;
+using core::runArmor;
+
+std::unique_ptr<Module> prep(const std::string& src, opt::OptLevel level) {
+  auto m = std::make_unique<Module>("t");
+  lang::compileIntoModule(src, "t.c", *m);
+  verifyOrDie(*m);
+  opt::optimize(*m, level);
+  uniquifyNames(*m);
+  return m;
+}
+
+TEST(Armor, SkipsDirectScalarAccesses) {
+  auto m = prep(R"(
+    int g = 5;
+    int main() {
+      int x = g;     // direct global load: no kernel
+      g = x + 1;     // direct global store: no kernel
+      return x;
+    })", opt::OptLevel::O1);
+  ArmorResult r = runArmor(*m);
+  EXPECT_EQ(r.stats.kernelsBuilt, 0u);
+  EXPECT_GT(r.stats.memAccesses, 0u);
+}
+
+TEST(Armor, OneKernelPerComputedAccess) {
+  auto m = prep(R"(
+    double a[64];
+    int main() {
+      int i = 7;
+      a[i] = a[i + 1] + a[2 * i];
+      return 0;
+    })", opt::OptLevel::O1);
+  ArmorResult r = runArmor(*m);
+  // Three distinct computed accesses: a[i+1] load, a[2i] load, a[i] store.
+  EXPECT_EQ(r.stats.kernelsBuilt, 3u);
+  EXPECT_EQ(r.table.size(), 3u);
+  verifyOrDie(*r.kernelModule);
+}
+
+TEST(Armor, KernelReturnsAddressAndTakesTerminalParams) {
+  // At O0 the inputs live in stack slots (always fetchable), so the whole
+  // Fig. 2-style address computation is cloned.
+  auto m = prep(R"(
+    double phi[256];
+    double f(int igrid, int j, int mzeta) {
+      return phi[(mzeta + 1) * igrid + j];
+    }
+    int main() { emit(f(3, 1, 7)); return 0; }
+  )", opt::OptLevel::O0);
+  ArmorResult r = runArmor(*m);
+  ASSERT_GE(r.stats.kernelsBuilt, 1u);
+  const Function* k = nullptr;
+  for (const Function* f : *r.kernelModule) {
+    if (f->isDeclaration()) continue;
+    bool hasMul = false;
+    for (const Instruction* in : *f->entry())
+      if (in->opcode() == Opcode::Mul) hasMul = true;
+    if (hasMul) k = f;
+  }
+  ASSERT_NE(k, nullptr) << "no kernel cloned the (mzeta+1)*igrid multiply";
+  EXPECT_TRUE(k->returnType()->isPointer());
+  // Params: the phi global plus the three .addr stack slots.
+  EXPECT_GE(k->numArgs(), 3u);
+  EXPECT_LE(k->numArgs(), 5u);
+}
+
+TEST(Armor, ShortLiveRangesDegradeToIdentityKernelAtO1) {
+  // The paper's live-range limitation: at O1 the scalar inputs die before
+  // the access, so the slice collapses and the kernel degenerates — the
+  // fault is then caught (not mis-repaired) by the equality guard.
+  auto m = prep(R"(
+    double phi[256];
+    double f(int igrid, int j, int mzeta) {
+      return phi[(mzeta + 1) * igrid + j];
+    }
+    int main() { emit(f(3, 1, 7)); return 0; }
+  )", opt::OptLevel::O1);
+  ArmorResult r = runArmor(*m);
+  ASSERT_GE(r.stats.kernelsBuilt, 1u);
+  // The f-kernel has a single parameter: the only live value at the load.
+  bool sawDegenerate = false;
+  for (const Function* f : *r.kernelModule)
+    if (!f->isDeclaration() && f->numArgs() == 1 && f->entry()->size() <= 2)
+      sawDegenerate = true;
+  EXPECT_TRUE(sawDegenerate);
+}
+
+TEST(Armor, GlobalBecomesGlobalParam) {
+  auto m = prep(R"(
+    double a[64];
+    int main() {
+      int i = 3;
+      a[i * 2] = 1.0;
+      return 0;
+    })", opt::OptLevel::O1);
+  ArmorResult r = runArmor(*m);
+  ASSERT_EQ(r.stats.kernelsBuilt, 1u);
+  bool sawGlobalParam = false;
+  const Function* k = nullptr;
+  for (const Function* f : *r.kernelModule)
+    if (!f->isDeclaration()) k = f;
+  ASSERT_NE(k, nullptr);
+  for (unsigned i = 0; i < k->numArgs(); ++i)
+    if (k->arg(i)->name() == "a") sawGlobalParam = true;
+  EXPECT_TRUE(sawGlobalParam);
+}
+
+TEST(Armor, ClonesSimpleCalleesIntoKernelModule) {
+  auto m = prep(R"(
+    double a[128];
+    int offset(int i, int stride) { return i * stride + 1; }
+    int main() {
+      for (int i = 0; i < 10; i = i + 1) { a[offset(i, 3)] = i; }
+      return 0;
+    })", opt::OptLevel::O0); // at O1 the inliner removes the call entirely
+  // offset() is a simple call (scalar args, no globals, no stores).
+  ASSERT_TRUE(m->findFunction("offset")->isSimpleCall());
+  ArmorResult r = runArmor(*m);
+  const Function* cloned = r.kernelModule->findFunction("offset");
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_FALSE(cloned->isDeclaration());
+  verifyOrDie(*r.kernelModule);
+}
+
+TEST(Armor, MathIntrinsicsTreatedAsOperators) {
+  auto m = prep(R"(
+    double a[128];
+    int n = 9;
+    int main() {
+      int i = n;  // loaded from a global: not constant-foldable
+      a[(int)(sqrt((double)(i))) + i] = 1.0;
+      return 0;
+    })", opt::OptLevel::O1);
+  ArmorResult r = runArmor(*m);
+  ASSERT_EQ(r.stats.kernelsBuilt, 1u);
+  const Function* k = nullptr;
+  for (const Function* f : *r.kernelModule)
+    if (!f->isDeclaration() && f->name().rfind("care_k", 0) == 0) k = f;
+  ASSERT_NE(k, nullptr);
+  bool callsSqrt = false;
+  for (const Instruction* in : *k->entry())
+    if (in->opcode() == Opcode::Call && in->callee()->name() == "sqrt")
+      callsSqrt = true;
+  EXPECT_TRUE(callsSqrt);
+}
+
+TEST(Armor, PhiIsTerminal) {
+  // The induction variable (a phi at O1) must be a kernel parameter, not a
+  // cloned statement — the paper's "induction variables are always put as
+  // parameters".
+  auto m = prep(R"(
+    double a[256];
+    int main() {
+      double s = 0.0;
+      for (int i = 0; i < 100; i = i + 1) { s = s + a[i * 2]; }
+      emit(s);
+      return 0;
+    })", opt::OptLevel::O1);
+  ArmorResult r = runArmor(*m);
+  ASSERT_GE(r.stats.kernelsBuilt, 1u);
+  for (const Function* f : *r.kernelModule) {
+    if (f->isDeclaration()) continue;
+    for (const BasicBlock* bb : *f)
+      for (const Instruction* in : *bb)
+        EXPECT_NE(in->opcode(), Opcode::Phi)
+            << "phi cloned into a recovery kernel";
+  }
+}
+
+TEST(Armor, DebugTuplesAreUniquePerAccess) {
+  // Two accesses generated from the same source position must end with
+  // distinct recovery keys (the paper's conflict resolution).
+  auto m = prep(R"(
+    double a[64];
+    double b[64];
+    int swapped(int i) { double t = a[i]; a[i] = b[i]; b[i] = t; return i; }
+    int main() { swapped(3); return 0; }
+  )", opt::OptLevel::O0);
+  ArmorResult r = runArmor(*m);
+  // Keys are table entries; table.add would have aborted on duplicates.
+  EXPECT_EQ(r.table.size(), r.stats.kernelsBuilt);
+  EXPECT_GE(r.stats.kernelsBuilt, 4u);
+}
+
+TEST(Armor, MaximalSlicingGrowsKernels) {
+  const char* src = R"(
+    double a[1024];
+    int main() {
+      int base = 5;
+      for (int i = 0; i < 10; i = i + 1) {
+        base = base * 3 % 17;
+        a[base * 7 + i] = i;
+      }
+      return 0;
+    })";
+  auto m1 = prep(src, opt::OptLevel::O1);
+  ArmorResult normal = runArmor(*m1);
+  auto m2 = prep(src, opt::OptLevel::O1);
+  ArmorOptions opts;
+  opts.maximalSlicing = true;
+  ArmorResult maximal = runArmor(*m2, opts);
+  EXPECT_GE(maximal.stats.kernelInstrs, normal.stats.kernelInstrs);
+}
+
+TEST(Armor, StatsCountAddressComplexity) {
+  auto m = prep(R"(
+    double a[64];
+    int idx = 3;
+    int main() {
+      int i = idx;
+      a[i] = 1.0;                  // gep only
+      a[(i + 1) * 2] = 2.0;        // add + mul + gep
+      return 0;
+    })", opt::OptLevel::O1);
+  ArmorResult r = runArmor(*m);
+  EXPECT_GE(r.stats.multiOpAccesses, 1u);
+  EXPECT_GE(r.stats.totalAddrOps, 3u);
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,173 @@
+// Integration tests for the full CARE loop: Armor -> artifacts on disk ->
+// fault injection -> SIGSEGV -> Safeguard -> recovery kernel -> patched
+// register -> program completes with the golden output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "care/driver.hpp"
+#include "inject/injector.hpp"
+#include "support/rng.hpp"
+#include "vm/executor.hpp"
+
+namespace care::test {
+namespace {
+
+using core::CompiledModule;
+using core::CompileOptions;
+using core::ModuleArtifacts;
+using inject::Campaign;
+using inject::CampaignConfig;
+using inject::InjectionPoint;
+using inject::InjectionResult;
+using inject::Outcome;
+
+// A GTC-P-flavoured stencil: complex address computations over guarded
+// globals, with infrequently-updated address inputs (the paper's sweet
+// spot for recovery).
+const char* kStencil = R"(
+double phi[4096];
+double phitmp[4096];
+int igrid[64];
+int mzeta = 7;
+
+int main() {
+  for (int i = 0; i < 64; i = i + 1) { igrid[i] = i * 2; }
+  for (int i = 0; i < 4096; i = i + 1) { phi[i] = i * 0.25; }
+  int igrid_in = igrid[1];
+  for (int step = 0; step < 4; step = step + 1) {
+    for (int i = 1; i < 30; i = i + 1) {
+      for (int k = 0; k < mzeta; k = k + 1) {
+        int addr = (mzeta + 1) * (igrid[i] - igrid_in) + k;
+        phitmp[addr] = phi[addr] * 1.01 + phitmp[addr] * 0.5;
+      }
+    }
+  }
+  double acc = 0.0;
+  for (int i = 0; i < 4096; i = i + 1) { acc = acc + phitmp[i]; }
+  emit(acc);
+  return 0;
+}
+)";
+
+struct CareEnv {
+  CompiledModule cm;
+  std::unique_ptr<vm::Image> image;
+  std::map<std::int32_t, ModuleArtifacts> artifacts;
+};
+
+CareEnv build(opt::OptLevel level, const std::string& tag) {
+  CompileOptions opts;
+  opts.optLevel = level;
+  opts.artifactDir = "care_test_artifacts";
+  CareEnv s;
+  s.cm = core::careCompile({{"stencil.c", kStencil}}, "stencil_" + tag, opts);
+  s.image = std::make_unique<vm::Image>();
+  s.image->load(s.cm.mmod.get());
+  s.image->link();
+  s.artifacts[0] = s.cm.artifacts;
+  return s;
+}
+
+TEST(CareRecovery, ArmorProducesKernelsAndArtifacts) {
+  CareEnv s = build(opt::OptLevel::O0, "o0a");
+  // One kernel per computed-address access in kStencil (8 of them).
+  EXPECT_EQ(s.cm.armorStats.kernelsBuilt, 8u);
+  EXPECT_GT(s.cm.armorStats.memAccesses, s.cm.armorStats.kernelsBuilt / 2);
+  EXPECT_TRUE(std::filesystem::exists(s.cm.artifacts.tablePath));
+  EXPECT_TRUE(std::filesystem::exists(s.cm.artifacts.libPath));
+  // The recovery table round-trips and has one entry per kernel.
+  core::RecoveryTable t =
+      core::RecoveryTable::readFile(s.cm.artifacts.tablePath);
+  EXPECT_EQ(t.size(), s.cm.armorStats.kernelsBuilt);
+}
+
+struct CampaignOutcome {
+  int segv = 0;
+  int recovered = 0;
+  int recoveredGolden = 0;
+};
+
+CampaignOutcome runCampaign(const CareEnv& s, int injections,
+                            std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  Campaign campaign(s.image.get(), cfg);
+  EXPECT_TRUE(campaign.profile());
+  Rng rng(seed);
+  CampaignOutcome out;
+  for (int i = 0; i < injections; ++i) {
+    const InjectionPoint pt = campaign.sample(rng);
+    const InjectionResult plain = campaign.runInjection(pt, nullptr);
+    if (plain.outcome != Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    ++out.segv;
+    const InjectionResult withCare = campaign.runInjection(pt, &s.artifacts);
+    if (withCare.careRecovered) {
+      ++out.recovered;
+      if (withCare.outputMatchesGolden) ++out.recoveredGolden;
+    }
+  }
+  return out;
+}
+
+TEST(CareRecovery, RecoversSegfaultsAtO0) {
+  CareEnv s = build(opt::OptLevel::O0, "o0");
+  CampaignOutcome out = runCampaign(s, 150, 42);
+  ASSERT_GT(out.segv, 10) << "campaign produced too few SIGSEGVs to test";
+  EXPECT_GT(out.recovered, 0) << "CARE recovered nothing";
+  // The paper reports 72%..96% coverage; we only pin a sane floor here —
+  // the bench reproduces the exact figure.
+  EXPECT_GE(double(out.recovered) / out.segv, 0.3);
+  // Recovery must not substitute SDCs for crashes: recovered runs
+  // overwhelmingly produce the golden output.
+  EXPECT_GE(double(out.recoveredGolden), 0.7 * out.recovered);
+}
+
+TEST(CareRecovery, RecoversSegfaultsAtO1) {
+  CareEnv s = build(opt::OptLevel::O1, "o1");
+  CampaignOutcome out = runCampaign(s, 250, 43);
+  ASSERT_GT(out.segv, 10);
+  EXPECT_GT(out.recovered, 0);
+  EXPECT_GE(double(out.recoveredGolden), 0.7 * out.recovered);
+}
+
+TEST(CareRecovery, NoCareArtifactsMeansNoRecovery) {
+  CareEnv s = build(opt::OptLevel::O0, "o0n");
+  CampaignConfig cfg;
+  cfg.seed = 7;
+  Campaign campaign(s.image.get(), cfg);
+  ASSERT_TRUE(campaign.profile());
+  Rng rng(7);
+  // With an empty artifact map, Safeguard must propagate every fault.
+  std::map<std::int32_t, ModuleArtifacts> empty;
+  for (int i = 0; i < 40; ++i) {
+    const InjectionPoint pt = campaign.sample(rng);
+    const InjectionResult r = campaign.runInjection(pt, &empty);
+    EXPECT_FALSE(r.careRecovered);
+  }
+}
+
+TEST(CareRecovery, RecoveryTimingIsMeasured) {
+  CareEnv s = build(opt::OptLevel::O0, "o0t");
+  CampaignConfig cfg;
+  cfg.seed = 11;
+  Campaign campaign(s.image.get(), cfg);
+  ASSERT_TRUE(campaign.profile());
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const InjectionPoint pt = campaign.sample(rng);
+    const InjectionResult r = campaign.runInjection(pt, &s.artifacts);
+    if (r.careRecovered) {
+      EXPECT_GT(r.recoveryUsTotal, 0.0);
+      // Preparation dominates (paper: >98% of recovery time).
+      EXPECT_LT(r.kernelUsTotal, r.recoveryUsTotal);
+      return;
+    }
+  }
+  FAIL() << "no recovery observed in 200 injections";
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,83 @@
+// Experiment-runner tests: determinism, on-disk caching, aggregation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "inject/experiment.hpp"
+
+namespace care::test {
+namespace {
+
+using inject::ExperimentConfig;
+using inject::ExperimentResult;
+using inject::Outcome;
+
+ExperimentConfig smallConfig(const std::string& dir) {
+  ExperimentConfig cfg;
+  cfg.level = opt::OptLevel::O0;
+  cfg.injections = 40;
+  cfg.seed = 123;
+  cfg.cacheDir = dir;
+  return cfg;
+}
+
+TEST(Experiment, DeterministicForFixedSeed) {
+  const std::string dir = "care_test_artifacts/exp_det";
+  std::filesystem::remove_all(dir);
+  const auto r1 = runExperiment(workloads::gtcp(), smallConfig(dir));
+  std::filesystem::remove_all(dir); // force a fresh (non-cached) rerun
+  const auto r2 = runExperiment(workloads::gtcp(), smallConfig(dir));
+  ASSERT_EQ(r1.records.size(), r2.records.size());
+  for (std::size_t i = 0; i < r1.records.size(); ++i) {
+    EXPECT_EQ(r1.records[i].plain.outcome, r2.records[i].plain.outcome);
+    EXPECT_EQ(r1.records[i].point.nth, r2.records[i].point.nth);
+    EXPECT_EQ(r1.records[i].point.bits, r2.records[i].point.bits);
+    EXPECT_EQ(r1.records[i].withCare.careRecovered,
+              r2.records[i].withCare.careRecovered);
+  }
+}
+
+TEST(Experiment, CacheRoundTripsAggregates) {
+  const std::string dir = "care_test_artifacts/exp_cache";
+  std::filesystem::remove_all(dir);
+  const auto fresh = runExperiment(workloads::hpccg(), smallConfig(dir));
+  const auto cached = runExperiment(workloads::hpccg(), smallConfig(dir));
+  EXPECT_EQ(fresh.records.size(), cached.records.size());
+  EXPECT_EQ(fresh.goldenInstrs, cached.goldenInstrs);
+  for (Outcome o : {Outcome::Benign, Outcome::SoftFailure, Outcome::SDC,
+                    Outcome::Hang})
+    EXPECT_EQ(fresh.count(o), cached.count(o));
+  EXPECT_EQ(fresh.segvCount(), cached.segvCount());
+  EXPECT_EQ(fresh.recoveredCount(), cached.recoveredCount());
+  EXPECT_EQ(fresh.latencyBuckets(), cached.latencyBuckets());
+}
+
+TEST(Experiment, DistinctConfigsGetDistinctCaches) {
+  const std::string dir = "care_test_artifacts/exp_keys";
+  std::filesystem::remove_all(dir);
+  auto c1 = smallConfig(dir);
+  auto c2 = smallConfig(dir);
+  c2.bits = 2;
+  runExperiment(workloads::minife(), c1);
+  runExperiment(workloads::minife(), c2);
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".camp") ++files;
+  EXPECT_EQ(files, 2);
+}
+
+TEST(Experiment, AggregatesAreConsistent) {
+  const auto r = runExperiment(workloads::gtcp(),
+                               smallConfig("care_test_artifacts/exp_det"));
+  const int total = r.count(Outcome::Benign) + r.count(Outcome::SoftFailure) +
+                    r.count(Outcome::SDC) + r.count(Outcome::Hang);
+  EXPECT_EQ(total, static_cast<int>(r.records.size()));
+  const auto b = r.latencyBuckets();
+  EXPECT_EQ(b[0] + b[1] + b[2] + b[3], r.count(Outcome::SoftFailure));
+  EXPECT_LE(r.recoveredCount(), r.segvCount());
+  EXPECT_GE(r.coverage(), 0.0);
+  EXPECT_LE(r.coverage(), 1.0);
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,160 @@
+// Fig. 11 extension tests: induction-variable recovery via a lock-step peer
+// (the paper's first listed piece of future work, implemented here behind
+// ArmorOptions::inductionRecovery).
+#include <gtest/gtest.h>
+
+#include "care/driver.hpp"
+#include "inject/injector.hpp"
+#include "support/rng.hpp"
+
+namespace care::test {
+namespace {
+
+using core::IvEquivalence;
+
+// A strided sweep maintaining two lock-step induction variables: `idx`
+// walks by 7 while `i` counts iterations — the paper's ptr/i pattern
+// (Fig. 11) expressed without pointer arithmetic.
+const char* kLockstep = R"(
+double a[4096];
+int main() {
+  for (int j = 0; j < 4096; j = j + 1) { a[j] = j * 0.5; }
+  double s = 0.0;
+  int idx = 0;
+  for (int i = 0; i < 500; i = i + 1) {
+    s = s + a[idx + 3];
+    idx = idx + 7;
+  }
+  emit(s);
+  return 0;
+}
+)";
+
+TEST(IvEquivalenceMath, RecomputeRoundTrip) {
+  IvEquivalence eq;
+  eq.selfInit = 0;
+  eq.selfStep = 7;
+  eq.peerInit = 0;
+  eq.peerStep = 1;
+  std::int64_t out = 0;
+  ASSERT_TRUE(eq.recompute(13, out)); // peer i = 13
+  EXPECT_EQ(out, 91);                 // idx = 13 * 7
+  // Negative steps.
+  eq.selfStep = -2;
+  eq.peerInit = 100;
+  eq.peerStep = -5;
+  ASSERT_TRUE(eq.recompute(85, out)); // 3 iterations
+  EXPECT_EQ(out, -6);
+  // Inconsistent peer value (not on the lattice).
+  EXPECT_FALSE(eq.recompute(84, out));
+  // Degenerate peer step.
+  eq.peerStep = 0;
+  EXPECT_FALSE(eq.recompute(0, out));
+}
+
+struct IvEnv {
+  core::CompiledModule cm;
+  std::unique_ptr<vm::Image> image;
+  std::map<std::int32_t, core::ModuleArtifacts> artifacts;
+};
+
+IvEnv build(bool extension) {
+  core::CompileOptions opts;
+  opts.optLevel = opt::OptLevel::O1; // induction vars live in registers
+  opts.artifactDir = "care_test_artifacts";
+  opts.armor.inductionRecovery = extension;
+  IvEnv e;
+  e.cm = core::careCompile({{"lockstep.c", kLockstep}},
+                           std::string("lockstep_") +
+                               (extension ? "ext" : "base"),
+                           opts);
+  e.image = std::make_unique<vm::Image>();
+  e.image->load(e.cm.mmod.get());
+  e.image->link();
+  e.artifacts[0] = e.cm.artifacts;
+  return e;
+}
+
+TEST(InductionRecovery, ArmorRecordsEquivalences) {
+  IvEnv e = build(true);
+  core::RecoveryTable t =
+      core::RecoveryTable::readFile(e.cm.artifacts.tablePath);
+  EXPECT_GT(t.size(), 0u);
+  // Read back through the serialized form: at least one parameter of some
+  // kernel carries an IvAlt whose relation is 7-per-1 (idx vs i) or the
+  // reverse.
+  core::RecoveryTable reread =
+      core::RecoveryTable::readFile(e.cm.artifacts.tablePath);
+  (void)reread;
+  // Table API has no iteration; verify behaviourally below instead.
+  IvEnv base = build(false);
+  core::RecoveryTable tb =
+      core::RecoveryTable::readFile(base.cm.artifacts.tablePath);
+  EXPECT_EQ(t.size(), tb.size()); // same kernels, richer params
+}
+
+TEST(InductionRecovery, ExtensionRecoversWhatBaselineCannot) {
+  IvEnv base = build(false);
+  IvEnv ext = build(true);
+
+  inject::CampaignConfig ccfg;
+  ccfg.seed = 2468;
+  inject::Campaign campBase(base.image.get(), ccfg);
+  inject::Campaign campExt(ext.image.get(), ccfg);
+  ASSERT_TRUE(campBase.profile());
+  ASSERT_TRUE(campExt.profile());
+  ASSERT_EQ(campBase.goldenOutput(), campExt.goldenOutput());
+
+  Rng rng(2468);
+  int segv = 0;
+  int baseRecovered = 0, extRecovered = 0, altUsed = 0, altGolden = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto pt = campBase.sample(rng);
+    const auto plain = campBase.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    ++segv;
+    // The two builds differ only in table contents; code layout and thus
+    // injection points are identical.
+    const auto rb = campBase.runInjection(pt, &base.artifacts);
+    const auto re = campExt.runInjection(pt, &ext.artifacts);
+    if (rb.careRecovered) ++baseRecovered;
+    if (re.careRecovered) ++extRecovered;
+    if (re.ivAltRecoveries > 0) {
+      ++altUsed;
+      if (re.outputMatchesGolden) ++altGolden;
+    }
+  }
+  ASSERT_GT(segv, 10);
+  EXPECT_GT(altUsed, 0) << "the Fig. 11 path never fired";
+  EXPECT_GE(extRecovered, baseRecovered);
+  // When the corrupted value is the induction variable itself, peer
+  // recomputation is exact and the run is golden. When the *peer* was
+  // corrupted (it re-winds the loop and the access legitimately runs off
+  // the array), recomputation masks a real out-of-bounds and yields an
+  // SDC — the reason the paper kept this as future work and the extension
+  // ships opt-in. Most alt recoveries must be golden; some SDCs are the
+  // documented hazard.
+  EXPECT_GE(double(altGolden), 0.6 * altUsed);
+  EXPECT_LT(altGolden, altUsed + 1); // tautology guard for tiny samples
+}
+
+TEST(InductionRecovery, OffByDefault) {
+  IvEnv base = build(false);
+  inject::CampaignConfig ccfg;
+  ccfg.seed = 99;
+  inject::Campaign camp(base.image.get(), ccfg);
+  ASSERT_TRUE(camp.profile());
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto pt = camp.sample(rng);
+    const auto plain = camp.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure) continue;
+    const auto r = camp.runInjection(pt, &base.artifacts);
+    EXPECT_EQ(r.ivAltRecoveries, 0u);
+  }
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,181 @@
+// Fault-injector unit tests: destination classification, corruption
+// mechanics, sampling determinism and weighting.
+#include <gtest/gtest.h>
+
+#include "inject/injector.hpp"
+#include "support/rng.hpp"
+#include "testutil.hpp"
+
+namespace care::test {
+namespace {
+
+using backend::MInst;
+using backend::MOp;
+using inject::Campaign;
+using inject::CampaignConfig;
+
+TEST(Injectable, ClassifiesByDestination) {
+  MInst in;
+  in.op = MOp::IAdd;
+  EXPECT_TRUE(Campaign::injectable(in));
+  in.op = MOp::Load;
+  EXPECT_TRUE(Campaign::injectable(in));
+  in.op = MOp::Store;
+  EXPECT_TRUE(Campaign::injectable(in)); // destination = memory cell
+  in.op = MOp::FMul;
+  EXPECT_TRUE(Campaign::injectable(in));
+  in.op = MOp::Jmp;
+  EXPECT_FALSE(Campaign::injectable(in));
+  in.op = MOp::BrCmp;
+  EXPECT_FALSE(Campaign::injectable(in)); // no architectural destination
+  in.op = MOp::Ret;
+  EXPECT_FALSE(Campaign::injectable(in));
+  in.op = MOp::Call;
+  EXPECT_FALSE(Campaign::injectable(in));
+  in.op = MOp::Barrier;
+  EXPECT_FALSE(Campaign::injectable(in));
+}
+
+struct CorpusEnv {
+  Program p;
+  CorpusEnv()
+      : p(buildProgram(R"(
+          double acc[256];
+          int main() {
+            double s = 0.0;
+            for (int i = 0; i < 200; i = i + 1) {
+              acc[i % 256] = i * 0.5;
+              s = s + acc[i % 256];
+            }
+            emit(s);
+            return 0;
+          })", opt::OptLevel::O0)) {}
+};
+
+TEST(Sampling, DeterministicForSeed) {
+  CorpusEnv env;
+  CampaignConfig cfg;
+  Campaign c(env.p.image.get(), cfg);
+  ASSERT_TRUE(c.profile());
+  Rng a(5), b(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto pa = c.sample(a);
+    const auto pb = c.sample(b);
+    EXPECT_EQ(pa.loc.func, pb.loc.func);
+    EXPECT_EQ(pa.loc.instr, pb.loc.instr);
+    EXPECT_EQ(pa.nth, pb.nth);
+    EXPECT_EQ(pa.bits, pb.bits);
+  }
+}
+
+TEST(Sampling, ExecutionWeighted) {
+  // Instructions inside the 200-iteration loop must be sampled far more
+  // often than one-shot prologue instructions.
+  CorpusEnv env;
+  CampaignConfig cfg;
+  Campaign c(env.p.image.get(), cfg);
+  ASSERT_TRUE(c.profile());
+  Rng rng(17);
+  int hot = 0;
+  const int kSamples = 400;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto pt = c.sample(rng);
+    // "hot" proxy: the sampled dynamic occurrence is beyond the first.
+    if (pt.nth > 1) ++hot;
+  }
+  EXPECT_GT(hot, kSamples / 2);
+}
+
+TEST(Sampling, NthWithinProfiledCount) {
+  CorpusEnv env;
+  CampaignConfig cfg;
+  Campaign c(env.p.image.get(), cfg);
+  ASSERT_TRUE(c.profile());
+  Rng rng(23);
+  vm::Executor prof(env.p.image.get());
+  prof.enableProfiling();
+  ASSERT_EQ(vm::runToCompletion(prof, "main").status, vm::RunStatus::Done);
+  for (int i = 0; i < 200; ++i) {
+    const auto pt = c.sample(rng);
+    EXPECT_GE(pt.nth, 1u);
+    EXPECT_LE(pt.nth, prof.profileCount(pt.loc));
+  }
+}
+
+TEST(Sampling, DoubleBitFlipsAreDistinctBits) {
+  CorpusEnv env;
+  CampaignConfig cfg;
+  cfg.bitsToFlip = 2;
+  Campaign c(env.p.image.get(), cfg);
+  ASSERT_TRUE(c.profile());
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const auto pt = c.sample(rng);
+    ASSERT_EQ(pt.bits.size(), 2u);
+    EXPECT_NE(pt.bits[0], pt.bits[1]);
+    EXPECT_LT(pt.bits[0], 64u);
+    EXPECT_LT(pt.bits[1], 64u);
+  }
+}
+
+TEST(CorruptDestination, FlipsIntRegister) {
+  CorpusEnv env;
+  vm::Executor ex(env.p.image.get());
+  // Find an IAdd with a register destination to corrupt.
+  const auto& code = env.p.image->module(0).mod->functions[0].code;
+  std::int32_t site = -1;
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i].op == MOp::IAdd && code[i].dst >= 0) {
+      site = static_cast<std::int32_t>(i);
+      break;
+    }
+  ASSERT_GE(site, 0);
+  const std::int16_t dst = code[static_cast<std::size_t>(site)].dst;
+  ex.state().g[dst] = 0x100;
+  Campaign::corruptDestination(ex, {0, 0, site}, {3});
+  EXPECT_EQ(ex.state().g[dst], 0x108u);
+  Campaign::corruptDestination(ex, {0, 0, site}, {3});
+  EXPECT_EQ(ex.state().g[dst], 0x100u);
+}
+
+TEST(CorruptDestination, FlipsStoredMemoryCell) {
+  CorpusEnv env;
+  vm::Executor ex(env.p.image.get());
+  const auto& lm = env.p.image->module(0);
+  // Find a store to the global (acc) and corrupt its cell post-hoc.
+  const auto& code = lm.mod->functions[0].code;
+  std::int32_t site = -1;
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i].op == MOp::Store && code[i].mem.globalIdx >= 0) {
+      site = static_cast<std::int32_t>(i);
+      break;
+    }
+  ASSERT_GE(site, 0);
+  const MInst& st = code[static_cast<std::size_t>(site)];
+  // Make the effective address point at the global's first element.
+  if (st.mem.base >= 0) ex.state().g[st.mem.base] = 0;
+  if (st.mem.index >= 0) ex.state().g[st.mem.index] = 0;
+  const std::uint64_t addr =
+      lm.globalAddr[static_cast<std::size_t>(st.mem.globalIdx)] +
+      static_cast<std::uint64_t>(st.mem.disp);
+  ex.memory().storeF(addr, backend::MType::F64, 1.0);
+  Campaign::corruptDestination(ex, {0, 0, site}, {63});
+  double after = 0;
+  ASSERT_EQ(ex.memory().loadF(addr, backend::MType::F64, after),
+            vm::MemStatus::Ok);
+  EXPECT_EQ(after, -1.0); // sign bit flipped
+}
+
+TEST(Campaign, GoldenOutputsStableAcrossCampaigns) {
+  CorpusEnv env;
+  CampaignConfig cfg;
+  Campaign c1(env.p.image.get(), cfg);
+  Campaign c2(env.p.image.get(), cfg);
+  ASSERT_TRUE(c1.profile());
+  ASSERT_TRUE(c2.profile());
+  EXPECT_EQ(c1.goldenInstrs(), c2.goldenInstrs());
+  EXPECT_EQ(c1.goldenOutput(), c2.goldenOutput());
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,146 @@
+// Inliner tests: structural effects and semantic preservation.
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "testutil.hpp"
+
+namespace care::test {
+namespace {
+
+using namespace ir;
+
+int countCalls(const Module& m, const std::string& caller) {
+  const Function* f = m.findFunction(caller);
+  int n = 0;
+  for (const BasicBlock* bb : *f)
+    for (const Instruction* in : *bb)
+      if (in->opcode() == Opcode::Call && in->callee() &&
+          !in->callee()->isIntrinsic() && !in->callee()->isDeclaration())
+        ++n;
+  return n;
+}
+
+std::unique_ptr<Module> compile(const std::string& src) {
+  auto m = std::make_unique<Module>("t");
+  lang::compileIntoModule(src, "t.c", *m);
+  verifyOrDie(*m);
+  return m;
+}
+
+TEST(Inline, SmallCalleeDisappears) {
+  auto m = compile(R"(
+    double mimg(double d, double box) {
+      if (d > 0.5 * box) { return d - box; }
+      if (d < -0.5 * box) { return d + box; }
+      return d;
+    }
+    int main() {
+      double s = 0.0;
+      for (int i = 0; i < 10; i = i + 1) {
+        s = s + mimg((double)(i) - 5.0, 4.0);
+      }
+      emit(s);
+      return 0;
+    })");
+  EXPECT_EQ(countCalls(*m, "main"), 1);
+  EXPECT_TRUE(opt::inlineFunctions(*m));
+  verifyOrDie(*m);
+  EXPECT_EQ(countCalls(*m, "main"), 0);
+}
+
+TEST(Inline, RecursiveCalleeKept) {
+  auto m = compile(R"(
+    long fib(long n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return (int)(fib(10)); }
+  )");
+  opt::inlineFunctions(*m);
+  verifyOrDie(*m);
+  EXPECT_EQ(countCalls(*m, "main"), 1) << "recursive callee was inlined";
+}
+
+TEST(Inline, LargeCalleeKept) {
+  std::string body;
+  for (int i = 0; i < 30; ++i)
+    body += "x = x * 3 + " + std::to_string(i) + "; x = x % 1000;\n";
+  auto m = compile("int big(int x) { " + body +
+                   " return x; } int main() { return big(7); }");
+  opt::inlineFunctions(*m);
+  verifyOrDie(*m);
+  EXPECT_EQ(countCalls(*m, "main"), 1);
+}
+
+TEST(Inline, TransitiveInliningBottomUp) {
+  auto m = compile(R"(
+    int leaf(int x) { return x + 1; }
+    int mid(int x) { return leaf(x) * 2; }
+    int main() { return mid(5); }
+  )");
+  opt::inlineFunctions(*m);
+  verifyOrDie(*m);
+  EXPECT_EQ(countCalls(*m, "main"), 0);
+}
+
+struct InlineProgram {
+  const char* name;
+  const char* src;
+  std::int64_t want;
+};
+
+class InlinePreservesSemantics
+    : public ::testing::TestWithParam<InlineProgram> {};
+
+TEST_P(InlinePreservesSemantics, SameResult) {
+  // Full O1 (with inliner) must agree with O0.
+  RunOutput o0 = compileAndRun(GetParam().src, opt::OptLevel::O0);
+  RunOutput o1 = compileAndRun(GetParam().src, opt::OptLevel::O1);
+  ASSERT_EQ(o0.result.status, vm::RunStatus::Done);
+  ASSERT_EQ(o1.result.status, vm::RunStatus::Done);
+  EXPECT_EQ(o0.result.exitCode, GetParam().want);
+  EXPECT_EQ(o1.result.exitCode, GetParam().want);
+  EXPECT_EQ(o0.output, o1.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, InlinePreservesSemantics,
+    ::testing::Values(
+        InlineProgram{"voidCallee", R"(
+          double acc[4];
+          void bump(int i, double v) { acc[i] = acc[i] + v; }
+          int main() {
+            for (int i = 0; i < 4; i = i + 1) { bump(i, (double)(i)); }
+            bump(2, 10.0);
+            return (int)(acc[0] + acc[1] + acc[2] + acc[3]);
+          })", 16},
+        InlineProgram{"multiReturn", R"(
+          int clamp(int x) {
+            if (x < 0) { return 0; }
+            if (x > 9) { return 9; }
+            return x;
+          }
+          int main() { return clamp(-3) + clamp(5) + clamp(100); }
+        )", 14},
+        InlineProgram{"callInLoop", R"(
+          int sq(int x) { return x * x; }
+          int main() {
+            int s = 0;
+            for (int i = 0; i < 5; i = i + 1) { s = s + sq(i); }
+            return s;
+          })", 30},
+        InlineProgram{"callInCondition", R"(
+          int half(int x) { return x / 2; }
+          int main() {
+            int n = 0;
+            while (half(n) < 8) { n = n + 3; }
+            return n;
+          })", 18},
+        InlineProgram{"nestedArgs", R"(
+          int add3(int a, int b, int c) { return a + b + c; }
+          int main() { return add3(add3(1, 2, 3), add3(4, 5, 6), 7); }
+        )", 28}),
+    [](const auto& info) { return info.param.name; });
+
+} // namespace
+} // namespace care::test

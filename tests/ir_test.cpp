@@ -1,0 +1,243 @@
+// Unit tests for the CARE-IR core: types, values, def-use, builder,
+// verifier, printer, serialization.
+#include <gtest/gtest.h>
+
+#include "ir/irbuilder.hpp"
+#include "ir/names.hpp"
+#include "ir/printer.hpp"
+#include "ir/serialize.hpp"
+#include "ir/verifier.hpp"
+
+namespace care::test {
+namespace {
+
+using namespace ir;
+
+TEST(Types, ScalarSingletonsAndSizes) {
+  EXPECT_EQ(Type::i32(), Type::i32());
+  EXPECT_EQ(Type::i32()->sizeBytes(), 4u);
+  EXPECT_EQ(Type::i64()->sizeBytes(), 8u);
+  EXPECT_EQ(Type::f32()->sizeBytes(), 4u);
+  EXPECT_EQ(Type::f64()->sizeBytes(), 8u);
+  EXPECT_EQ(Type::i1()->sizeBytes(), 1u);
+  EXPECT_TRUE(Type::i1()->isBool());
+  EXPECT_TRUE(Type::i1()->isInteger());
+  EXPECT_FALSE(Type::f32()->isInteger());
+}
+
+TEST(Types, PointerInterning) {
+  Type* p1 = Type::ptrTo(Type::f64());
+  Type* p2 = Type::ptrTo(Type::f64());
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, Type::ptrTo(Type::f32()));
+  EXPECT_EQ(p1->pointee(), Type::f64());
+  EXPECT_EQ(Type::ptrTo(p1)->str(), "f64**");
+  EXPECT_EQ(p1->sizeBytes(), 8u);
+}
+
+TEST(Constants, InternedPerModule) {
+  Module m("t");
+  EXPECT_EQ(m.constI32(7), m.constI32(7));
+  EXPECT_NE(m.constI32(7), m.constI32(8));
+  EXPECT_NE(static_cast<Value*>(m.constI32(7)),
+            static_cast<Value*>(m.constI64(7)));
+  EXPECT_EQ(m.constF64(1.5), m.constF64(1.5));
+  // -0.0 and +0.0 are distinct bit patterns and distinct constants.
+  EXPECT_NE(m.constF64(0.0), m.constF64(-0.0));
+}
+
+TEST(DefUse, OperandEdgesMaintained) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::i32(), {Type::i32()});
+  BasicBlock* bb = f->addBlock("entry");
+  IRBuilder b(&m);
+  b.setInsertPoint(bb);
+  Instruction* add = b.add(f->arg(0), m.constI32(1));
+  Instruction* mul = b.mul(add, add);
+  b.ret(mul);
+  EXPECT_EQ(add->uses().size(), 2u); // both mul operands
+  EXPECT_EQ(f->arg(0)->uses().size(), 1u);
+
+  // RAUW rewires all uses.
+  Instruction* sub = b.insertBlock()->inst(0); // placeholder; build new value
+  (void)sub;
+  add->replaceAllUsesWith(f->arg(0));
+  EXPECT_TRUE(add->uses().empty());
+  EXPECT_EQ(mul->operand(0), f->arg(0));
+  EXPECT_EQ(mul->operand(1), f->arg(0));
+  EXPECT_EQ(f->arg(0)->uses().size(), 3u);
+}
+
+TEST(DefUse, DropOperandsUnregisters) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::voidTy(), {Type::i32()});
+  BasicBlock* bb = f->addBlock("entry");
+  IRBuilder b(&m);
+  b.setInsertPoint(bb);
+  Instruction* add = b.add(f->arg(0), f->arg(0));
+  EXPECT_EQ(f->arg(0)->uses().size(), 2u);
+  add->dropOperands();
+  EXPECT_EQ(f->arg(0)->uses().size(), 0u);
+  bb->erase(0);
+  b.setInsertPoint(bb);
+  b.ret();
+}
+
+TEST(Verifier, AcceptsWellFormedFunction) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::i32(), {Type::i32()});
+  IRBuilder b(&m);
+  BasicBlock* entry = f->addBlock("entry");
+  BasicBlock* thenB = f->addBlock("then");
+  BasicBlock* elseB = f->addBlock("else");
+  b.setInsertPoint(entry);
+  Instruction* cmp = b.icmp(CmpPred::GT, f->arg(0), m.constI32(0));
+  b.condBr(cmp, thenB, elseB);
+  b.setInsertPoint(thenB);
+  b.ret(m.constI32(1));
+  b.setInsertPoint(elseB);
+  b.ret(m.constI32(0));
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::voidTy(), {});
+  BasicBlock* bb = f->addBlock("entry");
+  IRBuilder b(&m);
+  b.setInsertPoint(bb);
+  b.add(m.constI32(1), m.constI32(2));
+  const auto errs = verify(m);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsPhiPredMismatch) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::i32(), {});
+  BasicBlock* entry = f->addBlock("entry");
+  BasicBlock* next = f->addBlock("next");
+  BasicBlock* other = f->addBlock("other");
+  IRBuilder b(&m);
+  b.setInsertPoint(entry);
+  b.br(next);
+  b.setInsertPoint(next);
+  Instruction* phi = b.phi(Type::i32());
+  phi->addPhiIncoming(m.constI32(1), other); // wrong: other is not a pred
+  b.ret(phi);
+  b.setInsertPoint(other);
+  b.ret(m.constI32(0));
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsTypeMismatchedStore) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::voidTy(), {});
+  BasicBlock* bb = f->addBlock("entry");
+  IRBuilder b(&m);
+  b.setInsertPoint(bb);
+  Instruction* slot = b.alloca_(Type::f64());
+  // Bypass the builder's checks to produce a bad store.
+  auto bad = std::make_unique<Instruction>(Opcode::Store, Type::voidTy(), "");
+  bad->addOperand(m.constI32(7));
+  bad->addOperand(slot);
+  bb->append(std::move(bad));
+  b.ret();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Names, UniquifyMakesNamesUniqueAndNonEmpty) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::i32(), {Type::i32(), Type::i32()});
+  f->setArgName(0, "x");
+  f->setArgName(1, "x"); // duplicate on purpose
+  BasicBlock* bb = f->addBlock("entry");
+  IRBuilder b(&m);
+  b.setInsertPoint(bb);
+  Instruction* a = b.add(f->arg(0), f->arg(1), "x"); // clashes with args
+  Instruction* c = b.mul(a, a, "");
+  b.ret(c);
+  uniquifyNames(*f);
+  std::set<std::string> seen;
+  seen.insert(f->arg(0)->name());
+  seen.insert(f->arg(1)->name());
+  seen.insert(a->name());
+  seen.insert(c->name());
+  EXPECT_EQ(seen.size(), 4u);
+  for (const auto& n : seen) EXPECT_FALSE(n.empty());
+}
+
+TEST(Printer, MentionsOpcodeAndOperands) {
+  Module m("t");
+  Function* f = m.addFunction("f", Type::f64(), {Type::f64()});
+  f->setArgName(0, "x");
+  BasicBlock* bb = f->addBlock("entry");
+  IRBuilder b(&m);
+  b.setInsertPoint(bb);
+  Instruction* sq = b.fmul(f->arg(0), f->arg(0), "sq");
+  b.ret(sq);
+  const std::string s = toString(f);
+  EXPECT_NE(s.find("fmul"), std::string::npos);
+  EXPECT_NE(s.find("%sq"), std::string::npos);
+  EXPECT_NE(s.find("%x"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripPreservesStructureAndSemantics) {
+  Module m("round");
+  m.internFile("a.c");
+  GlobalVariable* g = m.addGlobal(Type::f64(), 16, "data");
+  g->setInit({1.0, 2.0, 3.0});
+  Function* helper = m.addFunction("helper", Type::f64(), {Type::f64()});
+  helper->setSimpleCall(true);
+  {
+    IRBuilder b(&m);
+    BasicBlock* bb = helper->addBlock("entry");
+    b.setInsertPoint(bb);
+    b.ret(b.fmul(helper->arg(0), m.constF64(2.0)));
+  }
+  Function* f = m.addFunction("main", Type::f64(), {Type::i32()});
+  {
+    IRBuilder b(&m);
+    BasicBlock* entry = f->addBlock("entry");
+    BasicBlock* loop = f->addBlock("loop");
+    BasicBlock* exit = f->addBlock("exit");
+    b.setInsertPoint(entry);
+    b.setDebugLoc({1, 10, 3});
+    b.br(loop);
+    b.setInsertPoint(loop);
+    Instruction* i = b.phi(Type::i32(), "i");
+    Instruction* idx = b.sext(i, Type::i64());
+    Instruction* p = b.gep(g, idx);
+    Instruction* v = b.load(p, "v");
+    Instruction* dbl = b.call(helper, {v});
+    Instruction* next = b.add(i, m.constI32(1));
+    i->addPhiIncoming(m.constI32(0), entry);
+    i->addPhiIncoming(next, loop);
+    Instruction* done = b.icmp(CmpPred::GE, next, m.constI32(3));
+    b.condBr(done, exit, loop);
+    b.setInsertPoint(exit);
+    b.ret(dbl);
+  }
+  verifyOrDie(m);
+
+  ByteWriter w;
+  writeModule(m, w);
+  ByteReader r{std::vector<std::uint8_t>(w.data())};
+  auto m2 = readModule(r);
+  verifyOrDie(*m2);
+  EXPECT_EQ(toString(&m), toString(m2.get()));
+  EXPECT_EQ(m2->findGlobal("data")->init().size(), 3u);
+  EXPECT_TRUE(m2->findFunction("helper")->isSimpleCall());
+  // Debug locations survive.
+  EXPECT_EQ(m2->findFunction("main")->entry()->inst(0)->debugLoc().line,
+            10u);
+  EXPECT_EQ(m2->fileName(1), "a.c");
+}
+
+TEST(Serialize, RejectsGarbage) {
+  ByteReader r{std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}};
+  EXPECT_THROW(readModule(r), Error);
+}
+
+} // namespace
+} // namespace care::test

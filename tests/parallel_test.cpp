@@ -1,0 +1,116 @@
+// Parallel-job simulator tests (paper §5.4 mechanics): lock-step barriers,
+// fault masking by CARE, job death without it, and the C/R cost model.
+#include <gtest/gtest.h>
+
+#include "parallel/jobsim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace care::test {
+namespace {
+
+using inject::Campaign;
+using inject::CampaignConfig;
+using inject::InjectionPoint;
+using inject::InjectionResult;
+using parallel::CheckpointModel;
+using parallel::JobConfig;
+using parallel::JobResult;
+using parallel::JobSimulator;
+
+struct JobEnv {
+  core::CompiledModule cm;
+  std::unique_ptr<vm::Image> image;
+  std::map<std::int32_t, core::ModuleArtifacts> artifacts;
+};
+
+JobEnv buildGtcp() {
+  core::CompileOptions opts;
+  opts.optLevel = opt::OptLevel::O0;
+  opts.artifactDir = "care_test_artifacts";
+  JobEnv e;
+  e.cm = core::careCompile(workloads::gtcp().sources, "gtcp_par", opts);
+  e.image = std::make_unique<vm::Image>();
+  e.image->load(e.cm.mmod.get());
+  e.image->link();
+  e.artifacts[0] = e.cm.artifacts;
+  return e;
+}
+
+/// Find an injection point that CARE provably recovers (the paper injects
+/// "a CARE-recoverable fault" into rank 0).
+InjectionPoint findRecoverablePoint(const JobEnv& e, std::uint64_t seed) {
+  CampaignConfig cfg;
+  Campaign campaign(e.image.get(), cfg);
+  EXPECT_TRUE(campaign.profile());
+  Rng rng(seed);
+  for (int i = 0; i < 400; ++i) {
+    const InjectionPoint pt = campaign.sample(rng);
+    const InjectionResult plain = campaign.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    const InjectionResult withCare = campaign.runInjection(pt, &e.artifacts);
+    if (withCare.careRecovered && withCare.outputMatchesGolden) return pt;
+  }
+  ADD_FAILURE() << "no recoverable injection point found";
+  return {};
+}
+
+TEST(ParallelJob, FaultFreeJobCompletes) {
+  JobEnv e = buildGtcp();
+  JobSimulator sim(e.image.get(), e.artifacts);
+  JobConfig cfg;
+  cfg.ranks = 8;
+  JobResult r = sim.run(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.stepsCompleted, 3); // gtcp runs 3 timesteps
+  EXPECT_FALSE(r.faultInjected);
+}
+
+TEST(ParallelJob, CareMasksRecoverableFault) {
+  JobEnv e = buildGtcp();
+  const InjectionPoint pt = findRecoverablePoint(e, 5);
+  if (!pt.loc.valid()) return;
+  JobSimulator sim(e.image.get(), e.artifacts);
+  JobConfig cfg;
+  cfg.ranks = 8;
+  JobResult fair = sim.run(cfg);
+  JobResult faulty = sim.run(cfg, &pt);
+  EXPECT_TRUE(faulty.completed);
+  EXPECT_TRUE(faulty.recovered);
+  EXPECT_GT(faulty.safeguardActivations, 0u);
+  // "almost no delays": recovery adds microseconds to a multi-ms job.
+  EXPECT_LT(faulty.wallSeconds, fair.wallSeconds * 3 + 0.5);
+}
+
+TEST(ParallelJob, WithoutCareTheJobDies) {
+  JobEnv e = buildGtcp();
+  const InjectionPoint pt = findRecoverablePoint(e, 6);
+  if (!pt.loc.valid()) return;
+  JobSimulator sim(e.image.get(), e.artifacts);
+  JobConfig cfg;
+  cfg.ranks = 4;
+  cfg.withCare = false;
+  JobResult r = sim.run(cfg, &pt);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(ParallelJob, CheckpointModelMatchesPaperShape) {
+  // With the paper's numbers the model is linear in the interval; check the
+  // structural property (monotonic, ~linear) that §5.4 relies on.
+  CheckpointModel m;
+  m.stepSeconds = 0.42;       // implied by the paper's 20/50/75 trio
+  m.restartLoadSeconds = 10.0;
+  const double r20 = m.avgRecoverySeconds(20);
+  const double r50 = m.avgRecoverySeconds(50);
+  const double r75 = m.avgRecoverySeconds(75);
+  EXPECT_NEAR(r20, 14.2, 1.0); // paper: 14.367s at a 20-step interval
+  EXPECT_LT(r20, r50);
+  EXPECT_LT(r50, r75);
+  EXPECT_NEAR(r75 - r50, (75 - 50) * 0.5 * 0.42, 1e-9);
+  // Checkpoint overhead decreases with the interval.
+  EXPECT_GT(m.overheadPerStep(20), m.overheadPerStep(75));
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,239 @@
+// End-to-end pipeline tests: MiniC -> IR -> optimizer -> MIR -> VM.
+// Every program is run at both O0 and O1 and must produce identical output.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace care::test {
+namespace {
+
+using opt::OptLevel;
+
+/// Run at both levels, expect normal completion and identical output.
+RunOutput runBoth(const std::string& src) {
+  RunOutput o0 = compileAndRun(src, OptLevel::O0);
+  RunOutput o1 = compileAndRun(src, OptLevel::O1);
+  EXPECT_EQ(o0.result.status, vm::RunStatus::Done);
+  EXPECT_EQ(o1.result.status, vm::RunStatus::Done);
+  EXPECT_EQ(o0.output, o1.output) << "O0 and O1 outputs differ";
+  EXPECT_EQ(o0.result.exitCode, o1.result.exitCode);
+  return o0;
+}
+
+TEST(Pipeline, ReturnsConstant) {
+  RunOutput r = runBoth("int main() { return 42; }");
+  EXPECT_EQ(r.result.exitCode, 42);
+}
+
+TEST(Pipeline, IntegerArithmetic) {
+  RunOutput r = runBoth(R"(
+    int main() {
+      int a = 7;
+      int b = 3;
+      emiti(a + b);
+      emiti(a - b);
+      emiti(a * b);
+      emiti(a / b);
+      emiti(a % b);
+      emiti(-a);
+      return 0;
+    })");
+  ASSERT_EQ(r.output.size(), 6u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[0]), 10);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[1]), 4);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[2]), 21);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[3]), 2);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[4]), 1);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[5]), -7);
+}
+
+TEST(Pipeline, FloatArithmetic) {
+  RunOutput r = runBoth(R"(
+    int main() {
+      double x = 1.5;
+      double y = 0.25;
+      emit(x + y);
+      emit(x * y);
+      emit(x / y);
+      emit(sqrt(x * x));
+      return 0;
+    })");
+  ASSERT_EQ(r.output.size(), 4u);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[0]), 1.75);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[1]), 0.375);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[2]), 6.0);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[3]), 1.5);
+}
+
+TEST(Pipeline, ControlFlow) {
+  RunOutput r = runBoth(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 10; i = i + 1) {
+        if (i % 2 == 0) { sum = sum + i; } else { sum = sum - 1; }
+      }
+      int j = 0;
+      while (j < 100) {
+        j = j + 7;
+        if (j > 50) { break; }
+      }
+      emiti(sum);
+      emiti(j);
+      return sum + j;
+    })");
+  // evens 0+2+4+6+8 = 20, minus 5 odds = 15; j: 7,14,...,56 -> 56
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[0]), 15);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[1]), 56);
+}
+
+TEST(Pipeline, ArraysAndGlobals) {
+  RunOutput r = runBoth(R"(
+    double data[64];
+    int n = 8;
+    int main() {
+      for (int i = 0; i < n * n; i = i + 1) { data[i] = i * 0.5; }
+      double sum = 0.0;
+      for (int i = 0; i < n * n; i = i + 1) { sum = sum + data[i]; }
+      emit(sum);
+      return 0;
+    })");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[0]), 63.0 * 64.0 / 4.0);
+}
+
+TEST(Pipeline, LocalArraysAndCalls) {
+  RunOutput r = runBoth(R"(
+    double dot(double* a, double* b, int n) {
+      double s = 0.0;
+      for (int i = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
+      return s;
+    }
+    int main() {
+      double x[16];
+      double y[16];
+      for (int i = 0; i < 16; i = i + 1) {
+        x[i] = i;
+        y[i] = 2.0;
+      }
+      emit(dot(x, y, 16));
+      return 0;
+    })");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[0]), 240.0);
+}
+
+TEST(Pipeline, StencilAddressing) {
+  // The paper's GTC-P-style flattened 2-D indexing.
+  RunOutput r = runBoth(R"(
+    double phi[4096];
+    int igrid[64];
+    int main() {
+      int mzeta = 7;
+      for (int i = 0; i < 64; i = i + 1) { igrid[i] = i * 2; }
+      for (int i = 0; i < 4096; i = i + 1) { phi[i] = i; }
+      double acc = 0.0;
+      for (int i = 1; i < 30; i = i + 1) {
+        for (int k = 0; k < mzeta; k = k + 1) {
+          acc = acc + phi[(mzeta + 1) * (igrid[i] - igrid[1]) + k];
+        }
+      }
+      emit(acc);
+      return 0;
+    })");
+  double want = 0;
+  int igrid[64];
+  for (int i = 0; i < 64; ++i) igrid[i] = i * 2;
+  for (int i = 1; i < 30; ++i)
+    for (int k = 0; k < 7; ++k) want += (7 + 1) * (igrid[i] - igrid[1]) + k;
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[0]), want);
+}
+
+TEST(Pipeline, RecursionAndManyArgs) {
+  RunOutput r = runBoth(R"(
+    long fib(long n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    long sum8(long a, long b, long c, long d, long e, long g, long h, long i) {
+      return a + b + c + d + e + g + h + i;
+    }
+    int main() {
+      emiti(fib(15));
+      emiti(sum8(1, 2, 3, 4, 5, 6, 7, 8));
+      return 0;
+    })");
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[0]), 610);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[1]), 36);
+}
+
+TEST(Pipeline, FloatSinglePrecision) {
+  RunOutput r = runBoth(R"(
+    float fx[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { fx[i] = (float)(i) * 0.1; }
+      double s = 0.0;
+      for (int i = 0; i < 8; i = i + 1) { s = s + fx[i]; }
+      emit(s);
+      return 0;
+    })");
+  float want = 0;
+  double s = 0;
+  for (int i = 0; i < 8; ++i) {
+    want = static_cast<float>(static_cast<float>(i) * 0.1);
+    s += want;
+  }
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_DOUBLE_EQ(bitsToDouble(r.output[0]), s);
+}
+
+TEST(Pipeline, TernaryAndLogical) {
+  RunOutput r = runBoth(R"(
+    int main() {
+      int a = 5;
+      int b = 9;
+      emiti(a < b ? a : b);
+      emiti(a > 3 && b > 3 ? 1 : 0);
+      emiti(a > 7 || b > 7 ? 1 : 0);
+      emiti(!(a == 5));
+      return 0;
+    })");
+  ASSERT_EQ(r.output.size(), 4u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[0]), 5);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[1]), 1);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[2]), 1);
+  EXPECT_EQ(static_cast<std::int64_t>(r.output[3]), 0);
+}
+
+TEST(Pipeline, AssertAborts) {
+  RunOutput r = compileAndRun("int main() { assert(1 == 2); return 0; }",
+                              OptLevel::O0);
+  EXPECT_EQ(r.result.status, vm::RunStatus::Trapped);
+  EXPECT_EQ(r.result.trap.kind, vm::TrapKind::Abort);
+}
+
+TEST(Pipeline, DivByZeroTraps) {
+  RunOutput r = compileAndRun(R"(
+    int zero = 0;
+    int main() { return 5 / zero; })", OptLevel::O0);
+  EXPECT_EQ(r.result.status, vm::RunStatus::Trapped);
+  EXPECT_EQ(r.result.trap.kind, vm::TrapKind::Fpe);
+}
+
+TEST(Pipeline, OutOfBoundsSegfaults) {
+  // The guard-gap layout turns a wild index into an unmapped access.
+  RunOutput r = compileAndRun(R"(
+    double a[16];
+    int main() {
+      int i = 100000;
+      a[i] = 1.0;
+      return 0;
+    })", OptLevel::O0);
+  EXPECT_EQ(r.result.status, vm::RunStatus::Trapped);
+  EXPECT_EQ(r.result.trap.kind, vm::TrapKind::SegFault);
+}
+
+} // namespace
+} // namespace care::test

@@ -1,0 +1,226 @@
+// carecc — command-line driver for the CARE toolchain.
+//
+// Lets a user point CARE at their own MiniC program without writing any
+// C++ against the library:
+//
+//   carecc compile app.c -O1 -d artifacts/   Armor-compile, write artifacts
+//   carecc run app.c [-O1]                   compile and execute in the VM
+//   carecc inspect app.c [-O1]               dump optimized IR + kernels
+//   carecc inject app.c -n 200 [--no-care]   seeded injection campaign
+//
+// Exit code: the program's exit code for `run`, 0/1 for the other modes.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "care/driver.hpp"
+#include "inject/injector.hpp"
+#include "ir/printer.hpp"
+#include "ir/serialize.hpp"
+#include "support/rng.hpp"
+
+using namespace care;
+
+namespace {
+
+struct Args {
+  std::string mode;
+  std::string file;
+  opt::OptLevel level = opt::OptLevel::O0;
+  std::string artifactDir = "care_artifacts";
+  std::string entry = "main";
+  int injections = 200;
+  std::uint64_t seed = 2026;
+  bool withCare = true;
+  bool inductionRecovery = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: carecc <compile|run|inspect|inject> <file.c>\n"
+               "  -O0|-O1            optimization level (default -O0)\n"
+               "  -d <dir>           artifact directory\n"
+               "  -e <entry>         entry function (default main)\n"
+               "  -n <count>         injections (inject mode)\n"
+               "  -s <seed>          campaign seed\n"
+               "  --no-care          inject without Safeguard attached\n"
+               "  --iv-recovery      enable the Fig. 11 extension\n");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) raise("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+core::CompiledModule compileFile(const Args& a) {
+  core::CompileOptions opts;
+  opts.optLevel = a.level;
+  opts.artifactDir = a.artifactDir;
+  opts.armor.inductionRecovery = a.inductionRecovery;
+  return core::careCompile({{a.file, slurp(a.file)}}, "app", opts);
+}
+
+int cmdCompile(const Args& a) {
+  core::CompiledModule cm = compileFile(a);
+  std::printf("compiled %s at %s\n", a.file.c_str(),
+              a.level == opt::OptLevel::O0 ? "-O0" : "-O1");
+  std::printf("  functions            : %zu\n", cm.mmod->functions.size());
+  std::printf("  memory accesses      : %zu\n", cm.armorStats.memAccesses);
+  std::printf("  recovery kernels     : %zu (avg %.1f IR instrs)\n",
+              cm.armorStats.kernelsBuilt, cm.armorStats.avgKernelInstrs());
+  std::printf("  normal compile time  : %.4f s\n", cm.timings.normalSec);
+  std::printf("  Armor overhead       : %.4f s\n", cm.timings.armorSec);
+  std::printf("  recovery table       : %s\n", cm.artifacts.tablePath.c_str());
+  std::printf("  recovery library     : %s\n", cm.artifacts.libPath.c_str());
+  return 0;
+}
+
+int cmdRun(const Args& a) {
+  core::CompiledModule cm = compileFile(a);
+  vm::Image image;
+  image.load(cm.mmod.get());
+  image.link();
+  vm::Executor ex(&image);
+  ex.setBudget(5'000'000'000ull);
+  core::Safeguard safeguard;
+  safeguard.addModule(0, cm.artifacts);
+  safeguard.attach(ex);
+  const vm::RunResult r = vm::runToCompletion(ex, a.entry);
+  for (std::uint64_t bits : ex.output()) {
+    double d;
+    std::memcpy(&d, &bits, 8);
+    std::printf("emit: %.17g  (raw 0x%016llx)\n", d,
+                static_cast<unsigned long long>(bits));
+  }
+  switch (r.status) {
+  case vm::RunStatus::Done:
+    std::printf("exited with code %lld after %llu instructions\n",
+                static_cast<long long>(r.exitCode),
+                static_cast<unsigned long long>(r.instrCount));
+    return static_cast<int>(r.exitCode);
+  case vm::RunStatus::Trapped:
+    std::printf("terminated by %s at pc=0x%llx addr=0x%llx\n",
+                vm::trapKindName(r.trap.kind),
+                static_cast<unsigned long long>(r.trap.pc),
+                static_cast<unsigned long long>(r.trap.addr));
+    return 128;
+  default:
+    std::printf("instruction budget exceeded (hang?)\n");
+    return 124;
+  }
+}
+
+int cmdInspect(const Args& a) {
+  core::CompiledModule cm = compileFile(a);
+  std::printf("=== optimized IR ===\n%s\n", ir::toString(cm.irMod.get()).c_str());
+  auto kernels = ir::readModuleFile(cm.artifacts.libPath);
+  std::printf("=== recovery library (%zu functions) ===\n",
+              kernels->numFunctions());
+  for (const ir::Function* f : *kernels)
+    if (!f->isDeclaration()) std::printf("%s\n", ir::toString(f).c_str());
+  return 0;
+}
+
+int cmdInject(const Args& a) {
+  core::CompiledModule cm = compileFile(a);
+  vm::Image image;
+  image.load(cm.mmod.get());
+  image.link();
+  std::map<std::int32_t, core::ModuleArtifacts> arts{{0, cm.artifacts}};
+
+  inject::CampaignConfig ccfg;
+  ccfg.seed = a.seed;
+  ccfg.entry = a.entry;
+  inject::Campaign campaign(&image, ccfg);
+  if (!campaign.profile()) {
+    std::fprintf(stderr, "program failed its golden run\n");
+    return 1;
+  }
+  std::printf("golden run: %llu instructions\n",
+              static_cast<unsigned long long>(campaign.goldenInstrs()));
+
+  Rng rng(a.seed);
+  int benign = 0, sdc = 0, hang = 0, segv = 0, otherSig = 0, recovered = 0;
+  double recoveryUs = 0;
+  for (int i = 0; i < a.injections; ++i) {
+    const auto pt = campaign.sample(rng);
+    const auto r =
+        campaign.runInjection(pt, a.withCare ? &arts : nullptr);
+    switch (r.outcome) {
+    case inject::Outcome::Benign: ++benign; break;
+    case inject::Outcome::SDC: ++sdc; break;
+    case inject::Outcome::Hang: ++hang; break;
+    case inject::Outcome::SoftFailure:
+      if (r.signal == vm::TrapKind::SegFault) ++segv;
+      else ++otherSig;
+      break;
+    }
+    if (r.careRecovered) {
+      ++recovered;
+      recoveryUs += r.recoveryUsTotal;
+    }
+  }
+  std::printf("injections : %d (seed %llu)\n", a.injections,
+              static_cast<unsigned long long>(a.seed));
+  std::printf("benign     : %d\n", benign);
+  std::printf("SDC        : %d\n", sdc);
+  std::printf("hang       : %d\n", hang);
+  std::printf("SIGSEGV    : %d%s\n", segv,
+              a.withCare ? " (surviving faults counted as benign/SDC)" : "");
+  std::printf("other sig  : %d\n", otherSig);
+  if (a.withCare) {
+    std::printf("recovered  : %d (avg %.1f us per recovery)\n", recovered,
+                recovered ? recoveryUs / recovered : 0.0);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (s == "-O0") a.level = opt::OptLevel::O0;
+    else if (s == "-O1") a.level = opt::OptLevel::O1;
+    else if (s == "-d") a.artifactDir = next();
+    else if (s == "-e") a.entry = next();
+    else if (s == "-n") a.injections = std::atoi(next().c_str());
+    else if (s == "-s") a.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (s == "--no-care") a.withCare = false;
+    else if (s == "--iv-recovery") a.inductionRecovery = true;
+    else if (s == "-h" || s == "--help") { usage(); return 0; }
+    else positional.push_back(s);
+  }
+  if (positional.size() != 2) {
+    usage();
+    return 2;
+  }
+  a.mode = positional[0];
+  a.file = positional[1];
+  try {
+    if (a.mode == "compile") return cmdCompile(a);
+    if (a.mode == "run") return cmdRun(a);
+    if (a.mode == "inspect") return cmdInspect(a);
+    if (a.mode == "inject") return cmdInject(a);
+    usage();
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "carecc: %s\n", e.what());
+    return 1;
+  }
+}
