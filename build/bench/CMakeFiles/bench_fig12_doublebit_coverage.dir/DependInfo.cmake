@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_doublebit_coverage.cpp" "bench/CMakeFiles/bench_fig12_doublebit_coverage.dir/bench_fig12_doublebit_coverage.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_doublebit_coverage.dir/bench_fig12_doublebit_coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inject/CMakeFiles/care_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/care_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/care_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/care/CMakeFiles/care_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/care_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/care_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/care_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/care_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/care_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/care_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/care_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_doublebit_coverage.dir/bench_fig12_doublebit_coverage.cpp.o"
+  "CMakeFiles/bench_fig12_doublebit_coverage.dir/bench_fig12_doublebit_coverage.cpp.o.d"
+  "bench_fig12_doublebit_coverage"
+  "bench_fig12_doublebit_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_doublebit_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

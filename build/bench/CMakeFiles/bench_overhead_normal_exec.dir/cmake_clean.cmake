@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_normal_exec.dir/bench_overhead_normal_exec.cpp.o"
+  "CMakeFiles/bench_overhead_normal_exec.dir/bench_overhead_normal_exec.cpp.o.d"
+  "bench_overhead_normal_exec"
+  "bench_overhead_normal_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_normal_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_doublebit.dir/bench_table10_doublebit.cpp.o"
+  "CMakeFiles/bench_table10_doublebit.dir/bench_table10_doublebit.cpp.o.d"
+  "bench_table10_doublebit"
+  "bench_table10_doublebit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_doublebit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

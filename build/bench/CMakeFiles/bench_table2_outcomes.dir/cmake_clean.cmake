@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_outcomes.dir/bench_table2_outcomes.cpp.o"
+  "CMakeFiles/bench_table2_outcomes.dir/bench_table2_outcomes.cpp.o.d"
+  "bench_table2_outcomes"
+  "bench_table2_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_symptoms.dir/bench_table3_symptoms.cpp.o"
+  "CMakeFiles/bench_table3_symptoms.dir/bench_table3_symptoms.cpp.o.d"
+  "bench_table3_symptoms"
+  "bench_table3_symptoms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_symptoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_addrcalc.dir/bench_table5_addrcalc.cpp.o"
+  "CMakeFiles/bench_table5_addrcalc.dir/bench_table5_addrcalc.cpp.o.d"
+  "bench_table5_addrcalc"
+  "bench_table5_addrcalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_addrcalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_blas.dir/bench_table9_blas.cpp.o"
+  "CMakeFiles/bench_table9_blas.dir/bench_table9_blas.cpp.o.d"
+  "bench_table9_blas"
+  "bench_table9_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_recovery.dir/blas_recovery.cpp.o"
+  "CMakeFiles/blas_recovery.dir/blas_recovery.cpp.o.d"
+  "blas_recovery"
+  "blas_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtcp_stencil.dir/gtcp_stencil.cpp.o"
+  "CMakeFiles/gtcp_stencil.dir/gtcp_stencil.cpp.o.d"
+  "gtcp_stencil"
+  "gtcp_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtcp_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_kernels.dir/inspect_kernels.cpp.o"
+  "CMakeFiles/inspect_kernels.dir/inspect_kernels.cpp.o.d"
+  "inspect_kernels"
+  "inspect_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

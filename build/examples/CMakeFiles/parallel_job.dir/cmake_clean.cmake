@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_job.dir/parallel_job.cpp.o"
+  "CMakeFiles/parallel_job.dir/parallel_job.cpp.o.d"
+  "parallel_job"
+  "parallel_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/care_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/care_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/analysis/CMakeFiles/care_analysis.dir/liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/care_analysis.dir/liveness.cpp.o.d"
+  "/root/repo/src/analysis/loopinfo.cpp" "src/analysis/CMakeFiles/care_analysis.dir/loopinfo.cpp.o" "gcc" "src/analysis/CMakeFiles/care_analysis.dir/loopinfo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/care_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/care_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/care_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/care_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/care_analysis.dir/liveness.cpp.o.d"
+  "CMakeFiles/care_analysis.dir/loopinfo.cpp.o"
+  "CMakeFiles/care_analysis.dir/loopinfo.cpp.o.d"
+  "libcare_analysis.a"
+  "libcare_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

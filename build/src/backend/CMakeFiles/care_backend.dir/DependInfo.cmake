@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/isel.cpp" "src/backend/CMakeFiles/care_backend.dir/isel.cpp.o" "gcc" "src/backend/CMakeFiles/care_backend.dir/isel.cpp.o.d"
+  "/root/repo/src/backend/mir.cpp" "src/backend/CMakeFiles/care_backend.dir/mir.cpp.o" "gcc" "src/backend/CMakeFiles/care_backend.dir/mir.cpp.o.d"
+  "/root/repo/src/backend/regalloc.cpp" "src/backend/CMakeFiles/care_backend.dir/regalloc.cpp.o" "gcc" "src/backend/CMakeFiles/care_backend.dir/regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/care_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/care_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_backend.dir/isel.cpp.o"
+  "CMakeFiles/care_backend.dir/isel.cpp.o.d"
+  "CMakeFiles/care_backend.dir/mir.cpp.o"
+  "CMakeFiles/care_backend.dir/mir.cpp.o.d"
+  "CMakeFiles/care_backend.dir/regalloc.cpp.o"
+  "CMakeFiles/care_backend.dir/regalloc.cpp.o.d"
+  "libcare_backend.a"
+  "libcare_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

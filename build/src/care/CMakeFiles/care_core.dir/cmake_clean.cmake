@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_core.dir/armor.cpp.o"
+  "CMakeFiles/care_core.dir/armor.cpp.o.d"
+  "CMakeFiles/care_core.dir/driver.cpp.o"
+  "CMakeFiles/care_core.dir/driver.cpp.o.d"
+  "CMakeFiles/care_core.dir/kernel_interp.cpp.o"
+  "CMakeFiles/care_core.dir/kernel_interp.cpp.o.d"
+  "CMakeFiles/care_core.dir/recovery_table.cpp.o"
+  "CMakeFiles/care_core.dir/recovery_table.cpp.o.d"
+  "CMakeFiles/care_core.dir/safeguard.cpp.o"
+  "CMakeFiles/care_core.dir/safeguard.cpp.o.d"
+  "libcare_core.a"
+  "libcare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_inject.dir/experiment.cpp.o"
+  "CMakeFiles/care_inject.dir/experiment.cpp.o.d"
+  "CMakeFiles/care_inject.dir/injector.cpp.o"
+  "CMakeFiles/care_inject.dir/injector.cpp.o.d"
+  "libcare_inject.a"
+  "libcare_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_ir.dir/ir.cpp.o"
+  "CMakeFiles/care_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/care_ir.dir/irbuilder.cpp.o"
+  "CMakeFiles/care_ir.dir/irbuilder.cpp.o.d"
+  "CMakeFiles/care_ir.dir/names.cpp.o"
+  "CMakeFiles/care_ir.dir/names.cpp.o.d"
+  "CMakeFiles/care_ir.dir/parse.cpp.o"
+  "CMakeFiles/care_ir.dir/parse.cpp.o.d"
+  "CMakeFiles/care_ir.dir/printer.cpp.o"
+  "CMakeFiles/care_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/care_ir.dir/serialize.cpp.o"
+  "CMakeFiles/care_ir.dir/serialize.cpp.o.d"
+  "CMakeFiles/care_ir.dir/type.cpp.o"
+  "CMakeFiles/care_ir.dir/type.cpp.o.d"
+  "CMakeFiles/care_ir.dir/verifier.cpp.o"
+  "CMakeFiles/care_ir.dir/verifier.cpp.o.d"
+  "libcare_ir.a"
+  "libcare_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

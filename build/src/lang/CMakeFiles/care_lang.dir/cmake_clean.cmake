@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_lang.dir/codegen.cpp.o"
+  "CMakeFiles/care_lang.dir/codegen.cpp.o.d"
+  "CMakeFiles/care_lang.dir/lexer.cpp.o"
+  "CMakeFiles/care_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/care_lang.dir/parser.cpp.o"
+  "CMakeFiles/care_lang.dir/parser.cpp.o.d"
+  "libcare_lang.a"
+  "libcare_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

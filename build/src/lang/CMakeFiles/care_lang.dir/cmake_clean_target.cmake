@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcare_lang.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constfold.cpp" "src/opt/CMakeFiles/care_opt.dir/constfold.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/constfold.cpp.o.d"
+  "/root/repo/src/opt/cse.cpp" "src/opt/CMakeFiles/care_opt.dir/cse.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/cse.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/opt/CMakeFiles/care_opt.dir/dce.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/dce.cpp.o.d"
+  "/root/repo/src/opt/inline.cpp" "src/opt/CMakeFiles/care_opt.dir/inline.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/inline.cpp.o.d"
+  "/root/repo/src/opt/licm.cpp" "src/opt/CMakeFiles/care_opt.dir/licm.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/licm.cpp.o.d"
+  "/root/repo/src/opt/mem2reg.cpp" "src/opt/CMakeFiles/care_opt.dir/mem2reg.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/mem2reg.cpp.o.d"
+  "/root/repo/src/opt/pipeline.cpp" "src/opt/CMakeFiles/care_opt.dir/pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/pipeline.cpp.o.d"
+  "/root/repo/src/opt/simplifycfg.cpp" "src/opt/CMakeFiles/care_opt.dir/simplifycfg.cpp.o" "gcc" "src/opt/CMakeFiles/care_opt.dir/simplifycfg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/care_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/care_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/care_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

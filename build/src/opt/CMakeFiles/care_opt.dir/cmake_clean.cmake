@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_opt.dir/constfold.cpp.o"
+  "CMakeFiles/care_opt.dir/constfold.cpp.o.d"
+  "CMakeFiles/care_opt.dir/cse.cpp.o"
+  "CMakeFiles/care_opt.dir/cse.cpp.o.d"
+  "CMakeFiles/care_opt.dir/dce.cpp.o"
+  "CMakeFiles/care_opt.dir/dce.cpp.o.d"
+  "CMakeFiles/care_opt.dir/inline.cpp.o"
+  "CMakeFiles/care_opt.dir/inline.cpp.o.d"
+  "CMakeFiles/care_opt.dir/licm.cpp.o"
+  "CMakeFiles/care_opt.dir/licm.cpp.o.d"
+  "CMakeFiles/care_opt.dir/mem2reg.cpp.o"
+  "CMakeFiles/care_opt.dir/mem2reg.cpp.o.d"
+  "CMakeFiles/care_opt.dir/pipeline.cpp.o"
+  "CMakeFiles/care_opt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/care_opt.dir/simplifycfg.cpp.o"
+  "CMakeFiles/care_opt.dir/simplifycfg.cpp.o.d"
+  "libcare_opt.a"
+  "libcare_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

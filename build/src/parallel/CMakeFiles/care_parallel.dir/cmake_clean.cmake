@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_parallel.dir/jobsim.cpp.o"
+  "CMakeFiles/care_parallel.dir/jobsim.cpp.o.d"
+  "libcare_parallel.a"
+  "libcare_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

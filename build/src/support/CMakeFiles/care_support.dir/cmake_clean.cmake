@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_support.dir/bytestream.cpp.o"
+  "CMakeFiles/care_support.dir/bytestream.cpp.o.d"
+  "CMakeFiles/care_support.dir/error.cpp.o"
+  "CMakeFiles/care_support.dir/error.cpp.o.d"
+  "CMakeFiles/care_support.dir/md5.cpp.o"
+  "CMakeFiles/care_support.dir/md5.cpp.o.d"
+  "libcare_support.a"
+  "libcare_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

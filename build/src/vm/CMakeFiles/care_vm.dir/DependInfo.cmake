@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/executor.cpp" "src/vm/CMakeFiles/care_vm.dir/executor.cpp.o" "gcc" "src/vm/CMakeFiles/care_vm.dir/executor.cpp.o.d"
+  "/root/repo/src/vm/loader.cpp" "src/vm/CMakeFiles/care_vm.dir/loader.cpp.o" "gcc" "src/vm/CMakeFiles/care_vm.dir/loader.cpp.o.d"
+  "/root/repo/src/vm/memory.cpp" "src/vm/CMakeFiles/care_vm.dir/memory.cpp.o" "gcc" "src/vm/CMakeFiles/care_vm.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/care_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/care_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/care_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_vm.dir/executor.cpp.o"
+  "CMakeFiles/care_vm.dir/executor.cpp.o.d"
+  "CMakeFiles/care_vm.dir/loader.cpp.o"
+  "CMakeFiles/care_vm.dir/loader.cpp.o.d"
+  "CMakeFiles/care_vm.dir/memory.cpp.o"
+  "CMakeFiles/care_vm.dir/memory.cpp.o.d"
+  "libcare_vm.a"
+  "libcare_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_workloads.dir/blas.cpp.o"
+  "CMakeFiles/care_workloads.dir/blas.cpp.o.d"
+  "CMakeFiles/care_workloads.dir/comd.cpp.o"
+  "CMakeFiles/care_workloads.dir/comd.cpp.o.d"
+  "CMakeFiles/care_workloads.dir/gtcp.cpp.o"
+  "CMakeFiles/care_workloads.dir/gtcp.cpp.o.d"
+  "CMakeFiles/care_workloads.dir/hpccg.cpp.o"
+  "CMakeFiles/care_workloads.dir/hpccg.cpp.o.d"
+  "CMakeFiles/care_workloads.dir/minife.cpp.o"
+  "CMakeFiles/care_workloads.dir/minife.cpp.o.d"
+  "CMakeFiles/care_workloads.dir/minimd.cpp.o"
+  "CMakeFiles/care_workloads.dir/minimd.cpp.o.d"
+  "CMakeFiles/care_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/care_workloads.dir/workloads.cpp.o.d"
+  "libcare_workloads.a"
+  "libcare_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

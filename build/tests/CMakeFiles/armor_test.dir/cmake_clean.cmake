@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armor_test.dir/armor_test.cpp.o"
+  "CMakeFiles/armor_test.dir/armor_test.cpp.o.d"
+  "armor_test"
+  "armor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

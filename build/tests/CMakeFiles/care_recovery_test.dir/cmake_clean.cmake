@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/care_recovery_test.dir/care_recovery_test.cpp.o"
+  "CMakeFiles/care_recovery_test.dir/care_recovery_test.cpp.o.d"
+  "care_recovery_test"
+  "care_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/care_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/induction_recovery_test.dir/induction_recovery_test.cpp.o"
+  "CMakeFiles/induction_recovery_test.dir/induction_recovery_test.cpp.o.d"
+  "induction_recovery_test"
+  "induction_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/induction_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_test.dir/inline_test.cpp.o"
+  "CMakeFiles/inline_test.dir/inline_test.cpp.o.d"
+  "inline_test"
+  "inline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

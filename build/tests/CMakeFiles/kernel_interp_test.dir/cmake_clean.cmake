@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_interp_test.dir/kernel_interp_test.cpp.o"
+  "CMakeFiles/kernel_interp_test.dir/kernel_interp_test.cpp.o.d"
+  "kernel_interp_test"
+  "kernel_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_programs_test.dir/minic_programs_test.cpp.o"
+  "CMakeFiles/minic_programs_test.dir/minic_programs_test.cpp.o.d"
+  "minic_programs_test"
+  "minic_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noninterference_test.dir/noninterference_test.cpp.o"
+  "CMakeFiles/noninterference_test.dir/noninterference_test.cpp.o.d"
+  "noninterference_test"
+  "noninterference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noninterference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safeguard_test.dir/safeguard_test.cpp.o"
+  "CMakeFiles/safeguard_test.dir/safeguard_test.cpp.o.d"
+  "safeguard_test"
+  "safeguard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safeguard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplifycfg_test.dir/simplifycfg_test.cpp.o"
+  "CMakeFiles/simplifycfg_test.dir/simplifycfg_test.cpp.o.d"
+  "simplifycfg_test"
+  "simplifycfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplifycfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carecc.dir/carecc.cpp.o"
+  "CMakeFiles/carecc.dir/carecc.cpp.o.d"
+  "carecc"
+  "carecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

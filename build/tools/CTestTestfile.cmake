@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(carecc_compile "/root/repo/build/tools/carecc" "compile" "/root/repo/examples/minic/stencil.c" "-O1" "-d" "/root/repo/build/carecc_test_artifacts")
+set_tests_properties(carecc_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(carecc_run "/root/repo/build/tools/carecc" "run" "/root/repo/examples/minic/stencil.c" "-O1" "-d" "/root/repo/build/carecc_test_artifacts")
+set_tests_properties(carecc_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(carecc_inject "/root/repo/build/tools/carecc" "inject" "/root/repo/examples/minic/stencil.c" "-n" "60" "-d" "/root/repo/build/carecc_test_artifacts")
+set_tests_properties(carecc_inject PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
