@@ -23,5 +23,6 @@ int main() {
   }
   std::printf("\n(Recovered runs must still produce golden output; both "
               "heuristics are guarded by the address-equality check.)\n");
+  bench::footer();
   return 0;
 }

@@ -33,5 +33,6 @@ int main() {
   std::printf("\n(GuardFired counts injections where the kernel reproduced "
               "the corrupted address, i.e. crashes the guard kept from\n"
               " becoming silent corruptions.)\n");
+  bench::footer();
   return 0;
 }

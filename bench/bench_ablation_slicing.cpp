@@ -36,5 +36,6 @@ int main() {
                   b.cm.armorStats.avgKernelInstrs(), 100.0 * r.coverage());
     }
   }
+  bench::footer();
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
               "value: recomputing from it masks a genuine out-of-bounds.\n"
               " That hazard is why the paper left this as future work and "
               "why the extension is opt-in.)\n");
+  bench::footer();
   return 0;
 }

@@ -119,5 +119,6 @@ int main() {
       std::printf("  %6d %14.4f %14.4f\n", r, fairW, faultW);
     }
   }
+  bench::footer();
   return 0;
 }

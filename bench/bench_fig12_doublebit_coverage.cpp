@@ -21,5 +21,6 @@ int main() {
     }
   }
   std::printf("\nAverage coverage: %.2f%% (paper: 82.34%%)\n", covSum / rows);
+  bench::footer();
   return 0;
 }

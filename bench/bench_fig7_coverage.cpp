@@ -22,5 +22,6 @@ int main() {
     }
   }
   std::printf("\nAverage coverage: %.2f%% (paper: 83.54%%)\n", covSum / rows);
+  bench::footer();
   return 0;
 }

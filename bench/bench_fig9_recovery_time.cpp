@@ -28,5 +28,6 @@ int main() {
               "are (a) preparation dominates and (b) recovery is orders of\n"
               " magnitude below a checkpoint restart — see "
               "bench_fig10_parallel.)\n");
+  bench::footer();
   return 0;
 }

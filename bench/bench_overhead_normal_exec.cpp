@@ -75,4 +75,14 @@ BENCHMARK(BM_SafeguardArtifactBytes);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the campaign-engine telemetry footer runs
+// after the benchmark report (campaigns here come from buildWorkload's
+// compile cache only, so this is usually silent).
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  care::bench::footer();
+  return 0;
+}

@@ -23,5 +23,6 @@ int main() {
   std::printf("\nSoft failures: %.1f%% of injections "
               "(paper single-bit ~30.2%% -> double-bit ~38.5%%)\n",
               100.0 * tSoft / tAll);
+  bench::footer();
   return 0;
 }

@@ -18,5 +18,6 @@ int main() {
                 r.countSignal(vm::TrapKind::Fpe) +
                     r.countSignal(vm::TrapKind::BadPC));
   }
+  bench::footer();
   return 0;
 }

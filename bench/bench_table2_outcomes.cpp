@@ -30,5 +30,6 @@ int main() {
   std::printf("\nSoft failures: %.1f%% of injections (paper: ~30.2%%), "
               "SDC: %.1f%% (paper: ~24.9%%)\n",
               100.0 * tSoft / tAll, 100.0 * tSdc / tAll);
+  bench::footer();
   return 0;
 }

@@ -29,5 +29,6 @@ int main() {
   std::printf("\nAverage SIGSEGV share of soft failures: %.1f%% "
               "(paper: 91.45%%)\n",
               segvShareSum / rows);
+  bench::footer();
   return 0;
 }

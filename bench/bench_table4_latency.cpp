@@ -26,5 +26,6 @@ int main() {
   std::printf("\nAverage manifesting within <=50 instructions: %.1f%% "
               "(paper: >83%%)\n",
               within50Sum / rows);
+  bench::footer();
   return 0;
 }

@@ -20,5 +20,6 @@ int main() {
         st.multiOpAccesses ? double(st.totalAddrOps) / st.multiOpAccesses : 0;
     std::printf("%-10s %13.2f%% %14.2f\n", w->name.c_str(), pct, avg);
   }
+  bench::footer();
   return 0;
 }

@@ -20,5 +20,6 @@ int main() {
               "analysis and is 10-100x the normal compile; our analyses\n"
               " are over far smaller programs, so only the ordering "
               "kernels~code-size and GTC-P-largest is expected to hold.)\n");
+  bench::footer();
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
               segv, recovered, segv ? 100.0 * recovered / segv : 0.0);
   std::printf("Mean recovery time: %.1f us (paper: 5.7 ms on its host)\n",
               recovered ? recoveryUs / recovered : 0.0);
+  bench::footer();
   return 0;
 }

@@ -1,0 +1,201 @@
+#include "inject/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "inject/experiment.hpp"
+
+namespace care::inject {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::mutex gTelemetryMutex;
+std::vector<CampaignTelemetry>& telemetryLog() {
+  static std::vector<CampaignTelemetry> log;
+  return log;
+}
+
+} // namespace
+
+std::string CampaignTelemetry::json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"event\":\"campaign\",\"workload\":\"%s\",\"level\":\"%s\","
+      "\"trials\":%d,\"threads\":%d,\"care_reruns\":%d,"
+      "\"from_cache\":%s,\"wall_sec\":%.6f,\"trials_per_sec\":%.2f,"
+      "\"worker_busy_sec\":%.6f,\"utilization\":%.4f}",
+      jsonEscape(workload).c_str(), jsonEscape(level).c_str(), trials,
+      threads, careReruns, fromCache ? "true" : "false", wallSec,
+      trialsPerSec, workerBusySec, utilization);
+  return buf;
+}
+
+int resolveThreads(int requested, int trials) {
+  int n = requested;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  if (trials >= 1 && n > trials) n = trials;
+  return n < 1 ? 1 : n;
+}
+
+void publishTelemetry(const CampaignTelemetry& t) {
+  std::lock_guard<std::mutex> lock(gTelemetryMutex);
+  telemetryLog().push_back(t);
+  const char* sink = std::getenv("CARE_TELEMETRY");
+  if (!sink || !*sink) return;
+  const std::string line = t.json();
+  if (std::string(sink) == "-" || std::string(sink) == "stderr") {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  if (std::FILE* f = std::fopen(sink, "a")) {
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+  }
+}
+
+const std::vector<CampaignTelemetry>& campaignLog() {
+  std::lock_guard<std::mutex> lock(gTelemetryMutex);
+  return telemetryLog();
+}
+
+double TelemetrySummary::utilization() const {
+  return wallSec > 0 && threads > 0 ? workerBusySec / (wallSec * threads)
+                                    : 0;
+}
+
+TelemetrySummary telemetrySummary() {
+  std::lock_guard<std::mutex> lock(gTelemetryMutex);
+  TelemetrySummary s;
+  for (const CampaignTelemetry& t : telemetryLog()) {
+    if (t.fromCache) {
+      ++s.cacheHits;
+      continue;
+    }
+    ++s.campaigns;
+    s.trials += t.trials;
+    s.wallSec += t.wallSec;
+    s.workerBusySec += t.workerBusySec;
+    if (t.threads > s.threads) s.threads = t.threads;
+  }
+  return s;
+}
+
+std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
+                                          int threads, const TrialFn& fn,
+                                          CampaignTelemetry* telemetry) {
+  const int workers = resolveThreads(threads, trials);
+  std::vector<InjectionRecord> records(
+      static_cast<std::size_t>(trials < 0 ? 0 : trials));
+  const Clock::time_point t0 = Clock::now();
+  double busySec = 0;
+
+  if (workers <= 1) {
+    // Legacy serial path: same iteration order, no pool machinery.
+    for (int i = 0; i < trials; ++i) {
+      Rng trialRng = Rng::stream(seed, static_cast<std::uint64_t>(i));
+      records[static_cast<std::size_t>(i)] = fn(i, trialRng);
+    }
+    busySec = secondsSince(t0);
+  } else {
+    std::atomic<int> next{0};
+    std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= trials) break;
+            const Clock::time_point w0 = Clock::now();
+            Rng trialRng = Rng::stream(seed, static_cast<std::uint64_t>(i));
+            // Each slot is written by exactly one worker; the merge back
+            // into trial-index order is the indexed store itself.
+            records[static_cast<std::size_t>(i)] = fn(i, trialRng);
+            busy[static_cast<std::size_t>(w)] += secondsSince(w0);
+          }
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+    for (double b : busy) busySec += b;
+  }
+
+  if (telemetry) {
+    telemetry->trials = trials;
+    telemetry->threads = workers;
+    telemetry->fromCache = false;
+    telemetry->wallSec = secondsSince(t0);
+    telemetry->trialsPerSec =
+        telemetry->wallSec > 0 ? trials / telemetry->wallSec : 0;
+    telemetry->workerBusySec = busySec;
+    telemetry->utilization =
+        telemetry->wallSec > 0
+            ? busySec / (telemetry->wallSec * workers)
+            : 0;
+  }
+  return records;
+}
+
+std::vector<InjectionRecord> runCampaign(
+    const Campaign& campaign, int injections, std::uint64_t seed,
+    int threads,
+    const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts,
+    CampaignTelemetry* telemetry) {
+  // Pre-derive every injection point with the campaign RNG, in the exact
+  // order the serial loop drew them; trial execution below consumes no
+  // campaign randomness, so scheduling cannot perturb the points.
+  Rng rng(seed);
+  std::vector<InjectionPoint> points;
+  points.reserve(static_cast<std::size_t>(injections < 0 ? 0 : injections));
+  for (int i = 0; i < injections; ++i) points.push_back(campaign.sample(rng));
+
+  std::atomic<int> careReruns{0};
+  const TrialFn trial = [&](int i, Rng&) {
+    InjectionRecord rec;
+    rec.point = points[static_cast<std::size_t>(i)];
+    rec.plain = campaign.runInjection(rec.point);
+    if (careArtifacts && rec.plain.outcome == Outcome::SoftFailure &&
+        rec.plain.signal == vm::TrapKind::SegFault) {
+      rec.haveCare = true;
+      rec.withCare = campaign.runInjection(rec.point, careArtifacts);
+      careReruns.fetch_add(1, std::memory_order_relaxed);
+    }
+    return rec;
+  };
+  std::vector<InjectionRecord> records =
+      runTrialPool(injections, seed, threads, trial, telemetry);
+  if (telemetry) telemetry->careReruns = careReruns.load();
+  return records;
+}
+
+} // namespace care::inject

@@ -1,0 +1,100 @@
+// Parallel injection-campaign engine.
+//
+// Every table/figure bench funnels thousands of independent VM runs through
+// one campaign; the trials are embarrassingly parallel and each trial's
+// injection point is derived deterministically from the campaign seed, so
+// the work shards across a worker pool without changing any reported
+// number. The engine's contract:
+//
+//  * all InjectionPoints are pre-derived from the campaign RNG up front, in
+//    the exact order the legacy serial loop drew them;
+//  * trials execute on `threads` std::thread workers, each constructing its
+//    own VM/Safeguard per trial and receiving a per-trial RNG stream forked
+//    from (seed, trialIndex) — never from worker identity or schedule;
+//  * records are merged back in trial-index order.
+//
+// Consequently the deterministic portion of every record (points, outcomes,
+// signals, latencies, CARE recovery results) is bit-for-bit identical to
+// the serial engine; only wall-clock microsecond timings vary, exactly as
+// they do between two serial runs. `threads` is a performance knob, not an
+// experiment parameter, and deliberately stays out of the disk-cache key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inject/injector.hpp"
+
+namespace care::inject {
+
+struct InjectionRecord; // experiment.hpp; broken cycle, see below
+
+/// Per-campaign execution telemetry. Emitted so BENCH_*.json trajectories
+/// can track campaign throughput; never part of cached results.
+struct CampaignTelemetry {
+  std::string workload;        // empty for anonymous (carecc) campaigns
+  std::string level;           // "O0" / "O1" / ""
+  int trials = 0;
+  int threads = 1;             // workers actually used
+  int careReruns = 0;          // SIGSEGV trials re-run with CARE attached
+  bool fromCache = false;
+  double wallSec = 0;
+  double trialsPerSec = 0;
+  double workerBusySec = 0;    // sum of per-worker time inside trials
+  double utilization = 0;      // workerBusySec / (wallSec * threads)
+
+  /// One JSON object on one line (the CARE_TELEMETRY sink format).
+  std::string json() const;
+};
+
+/// Resolve an ExperimentConfig/CLI `threads` knob: 0 = hardware
+/// concurrency, otherwise the requested count; always clamped to
+/// [1, trials].
+int resolveThreads(int requested, int trials);
+
+/// Record the campaign in the process-wide telemetry log and, when the
+/// CARE_TELEMETRY environment variable is set, append `t.json()` to that
+/// file ("-" or "stderr" write to stderr instead).
+void publishTelemetry(const CampaignTelemetry& t);
+
+/// All campaigns published so far (bench mains print a footer from this).
+const std::vector<CampaignTelemetry>& campaignLog();
+
+/// Aggregate of campaignLog() for one-line summaries.
+struct TelemetrySummary {
+  int campaigns = 0;        // executed (non-cache-hit) campaigns
+  int cacheHits = 0;
+  int trials = 0;
+  int threads = 0;          // max worker count used
+  double wallSec = 0;
+  double workerBusySec = 0;
+  double trialsPerSec() const { return wallSec > 0 ? trials / wallSec : 0; }
+  double utilization() const;
+};
+TelemetrySummary telemetrySummary();
+
+/// A trial body: given the trial index and that trial's private RNG
+/// stream, produce the record. Must be safe to call concurrently for
+/// distinct indices (each call builds its own Executor/Safeguard).
+using TrialFn = std::function<InjectionRecord(int trialIndex, Rng& trialRng)>;
+
+/// Run trials 0..trials-1 on a worker pool (threads <= 1 uses the legacy
+/// in-place serial loop) and return the records in trial-index order.
+/// Exceptions thrown by a trial are rethrown on the caller's thread.
+std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
+                                          int threads, const TrialFn& fn,
+                                          CampaignTelemetry* telemetry);
+
+/// The experiment-harness campaign: pre-derive `injections` points from
+/// Rng(seed) in serial order, run each plain, and — when `careArtifacts`
+/// is non-null — re-run SIGSEGV soft failures with CARE attached.
+std::vector<InjectionRecord> runCampaign(
+    const Campaign& campaign, int injections, std::uint64_t seed,
+    int threads,
+    const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts,
+    CampaignTelemetry* telemetry);
+
+} // namespace care::inject

@@ -1,6 +1,7 @@
 #include "inject/experiment.hpp"
 
 #include <array>
+#include <chrono>
 #include <filesystem>
 
 #include "support/bytestream.hpp"
@@ -16,6 +17,9 @@ constexpr std::uint32_t kCacheVersion = 5;
 
 std::string cachePath(const std::string& workload,
                       const ExperimentConfig& cfg) {
+  // cfg.threads is deliberately absent: the engine guarantees identical
+  // records for every worker count, so serial- and parallel-written
+  // campaigns share one cache entry.
   Md5 h;
   h.update(workload);
   h.update(cfg.level == opt::OptLevel::O0 ? "O0" : "O1");
@@ -33,8 +37,11 @@ std::string cachePath(const std::string& workload,
          h.finish().hex().substr(0, 12) + ".camp";
 }
 
-void writeResult(const ExperimentResult& r, const std::string& path) {
-  ByteWriter w;
+/// Serialize `r` into `w`. `withTimings` selects the on-disk cache format
+/// (wall-clock fields included) vs. the deterministic projection that the
+/// parallel ≡ serial guarantee is stated over.
+void serializeResult(const ExperimentResult& r, ByteWriter& w,
+                     bool withTimings) {
   w.u32(kCacheMagic);
   w.u32(kCacheVersion);
   w.str(r.workload);
@@ -50,8 +57,10 @@ void writeResult(const ExperimentResult& r, const std::string& path) {
     w.u8(ir.careRecovered ? 1 : 0);
     w.u64(ir.safeguardActivations);
     w.u64(ir.ivAltRecoveries);
-    w.f64(ir.recoveryUsTotal);
-    w.f64(ir.kernelUsTotal);
+    if (withTimings) {
+      w.f64(ir.recoveryUsTotal);
+      w.f64(ir.kernelUsTotal);
+    }
     w.u8(ir.outputMatchesGolden ? 1 : 0);
     w.str(ir.careFailReason);
   };
@@ -66,6 +75,11 @@ void writeResult(const ExperimentResult& r, const std::string& path) {
     w.u8(rec.haveCare ? 1 : 0);
     if (rec.haveCare) putResult(rec.withCare);
   }
+}
+
+void writeResult(const ExperimentResult& r, const std::string& path) {
+  ByteWriter w;
+  serializeResult(r, w, /*withTimings=*/true);
   w.writeFile(path);
 }
 
@@ -198,11 +212,33 @@ BuiltWorkload buildWorkload(const workloads::Workload& w,
   return b;
 }
 
+std::vector<std::uint8_t> serializeDeterministic(const ExperimentResult& r) {
+  ByteWriter w;
+  serializeResult(r, w, /*withTimings=*/false);
+  return w.data();
+}
+
 ExperimentResult runExperiment(const workloads::Workload& w,
-                               const ExperimentConfig& cfg) {
+                               const ExperimentConfig& cfg,
+                               CampaignTelemetry* telemetry) {
+  CampaignTelemetry local;
+  CampaignTelemetry& tel = telemetry ? *telemetry : local;
+  tel = CampaignTelemetry{};
+  tel.workload = w.name;
+  tel.level = cfg.level == opt::OptLevel::O0 ? "O0" : "O1";
+
   std::filesystem::create_directories(cfg.cacheDir);
   const std::string path = cachePath(w.name, cfg);
-  if (auto cached = readResult(path)) return std::move(*cached);
+  const auto t0 = std::chrono::steady_clock::now();
+  if (auto cached = readResult(path)) {
+    tel.fromCache = true;
+    tel.trials = static_cast<int>(cached->records.size());
+    tel.wallSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    publishTelemetry(tel);
+    return std::move(*cached);
+  }
 
   BuiltWorkload built = buildWorkload(w, cfg);
   CampaignConfig ccfg;
@@ -218,18 +254,10 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   out.workload = w.name;
   out.level = cfg.level;
   out.goldenInstrs = campaign.goldenInstrs();
-  Rng rng(cfg.seed);
-  for (int i = 0; i < cfg.injections; ++i) {
-    InjectionRecord rec;
-    rec.point = campaign.sample(rng);
-    rec.plain = campaign.runInjection(rec.point);
-    if (cfg.careOnSegv && rec.plain.outcome == Outcome::SoftFailure &&
-        rec.plain.signal == vm::TrapKind::SegFault) {
-      rec.haveCare = true;
-      rec.withCare = campaign.runInjection(rec.point, &built.artifacts);
-    }
-    out.records.push_back(std::move(rec));
-  }
+  out.records =
+      runCampaign(campaign, cfg.injections, cfg.seed, cfg.threads,
+                  cfg.careOnSegv ? &built.artifacts : nullptr, &tel);
+  publishTelemetry(tel);
   writeResult(out, path);
   return out;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "inject/engine.hpp"
 #include "inject/injector.hpp"
 #include "workloads/workloads.hpp"
 
@@ -27,6 +28,12 @@ struct ExperimentConfig {
   std::string cacheDir = "care_artifacts";
   core::ArmorOptions armor;   // ablation knobs participate in the cache key
   bool patchBaseFirst = false; // Safeguard patch-heuristic ablation
+  /// Campaign worker threads: 0 = hardware_concurrency, 1 = legacy serial
+  /// loop. A pure performance knob — the engine guarantees the records are
+  /// identical for every value, so it is deliberately NOT part of the
+  /// disk-cache key (a serial-written cache serves parallel runs and vice
+  /// versa).
+  int threads = 0;
 };
 
 /// One injection's record: the plain outcome plus (for SIGSEGV injections
@@ -58,9 +65,20 @@ struct ExperimentResult {
 };
 
 /// Compile `w` with CARE per cfg, then run (or load from cache) the
-/// campaign. Throws care::Error if the workload cannot be profiled.
+/// campaign on cfg.threads workers. Throws care::Error if the workload
+/// cannot be profiled. When `telemetry` is non-null it receives the
+/// campaign's execution telemetry (also published to the process-wide log
+/// and the CARE_TELEMETRY sink, cache hits included).
 ExperimentResult runExperiment(const workloads::Workload& w,
-                               const ExperimentConfig& cfg);
+                               const ExperimentConfig& cfg,
+                               CampaignTelemetry* telemetry = nullptr);
+
+/// Serialize the deterministic portion of a result — everything except the
+/// two wall-clock microsecond fields (recoveryUsTotal / kernelUsTotal),
+/// which vary between any two runs, serial or not. This byte stream is the
+/// statement of the parallel ≡ serial equivalence guarantee: it is
+/// identical for every `threads` value.
+std::vector<std::uint8_t> serializeDeterministic(const ExperimentResult& r);
 
 /// Also expose the compile step so compile-stat benches (Tables 5/8) share
 /// the flow without a campaign.

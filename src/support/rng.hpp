@@ -56,7 +56,24 @@ public:
   /// Fork an independent stream (for per-injection determinism).
   Rng fork() { return Rng(next()); }
 
+  /// Deterministic per-trial stream: an independent generator derived from
+  /// (seed, streamIndex) alone. The campaign engine hands stream(seed, t)
+  /// to trial t so a trial's randomness never depends on which worker ran
+  /// it or in what order — the invariant behind parallel ≡ serial.
+  static Rng stream(std::uint64_t seed, std::uint64_t streamIndex) {
+    return Rng(mix64(seed) ^ mix64(streamIndex + 0x9e3779b97f4a7c15ull));
+  }
+
 private:
+  /// splitmix64 finalizer: a strong 64-bit mix used to decorrelate the
+  /// (seed, stream) pair before it seeds the xoshiro state.
+  static std::uint64_t mix64(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

@@ -66,6 +66,93 @@ TEST(Experiment, DistinctConfigsGetDistinctCaches) {
   EXPECT_EQ(files, 2);
 }
 
+// --- parallel campaign engine -----------------------------------------------
+
+TEST(Experiment, ParallelCampaignMatchesSerialByteForByte) {
+  // The engine's contract: for any `threads`, the deterministic portion of
+  // the records (points, outcomes, signals, latencies, CARE results) is
+  // bit-identical to the legacy serial loop. Both runs are cold (the cache
+  // is wiped in between) so this exercises real execution, not cache reuse.
+  const std::string dir = "care_test_artifacts/exp_par_eq";
+  std::filesystem::remove_all(dir);
+  auto serialCfg = smallConfig(dir);
+  serialCfg.threads = 1;
+  const ExperimentResult serial = runExperiment(workloads::gtcp(), serialCfg);
+  std::filesystem::remove_all(dir);
+  auto parCfg = smallConfig(dir);
+  parCfg.threads = 4;
+  inject::CampaignTelemetry tel;
+  const ExperimentResult parallel =
+      runExperiment(workloads::gtcp(), parCfg, &tel);
+  EXPECT_FALSE(tel.fromCache);
+  EXPECT_EQ(tel.threads, 4);
+  EXPECT_EQ(tel.trials, parCfg.injections);
+  EXPECT_GT(tel.wallSec, 0.0);
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  EXPECT_EQ(serial.goldenInstrs, parallel.goldenInstrs);
+  EXPECT_EQ(inject::serializeDeterministic(serial),
+            inject::serializeDeterministic(parallel));
+}
+
+TEST(Experiment, ThreadsStayOutOfTheCacheKey) {
+  // A serial-written cache must be reused verbatim by a parallel run: one
+  // .camp file, fromCache=true, and identical records including the
+  // wall-clock timing fields (which only a cache hit could reproduce).
+  const std::string dir = "care_test_artifacts/exp_par_key";
+  std::filesystem::remove_all(dir);
+  auto serialCfg = smallConfig(dir);
+  serialCfg.threads = 1;
+  const ExperimentResult serial =
+      runExperiment(workloads::minife(), serialCfg);
+  auto parCfg = smallConfig(dir);
+  parCfg.threads = 4;
+  inject::CampaignTelemetry tel;
+  const ExperimentResult parallel =
+      runExperiment(workloads::minife(), parCfg, &tel);
+  EXPECT_TRUE(tel.fromCache);
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".camp") ++files;
+  EXPECT_EQ(files, 1);
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  EXPECT_EQ(inject::serializeDeterministic(serial),
+            inject::serializeDeterministic(parallel));
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.records[i].withCare.recoveryUsTotal,
+                     parallel.records[i].withCare.recoveryUsTotal);
+    EXPECT_DOUBLE_EQ(serial.records[i].withCare.kernelUsTotal,
+                     parallel.records[i].withCare.kernelUsTotal);
+  }
+}
+
+TEST(Experiment, ParallelWrittenCacheRoundTrips) {
+  // The inverse direction: a campaign executed by the parallel engine is
+  // written to disk and loaded back with an identical ExperimentResult.
+  const std::string dir = "care_test_artifacts/exp_par_rt";
+  std::filesystem::remove_all(dir);
+  auto cfg = smallConfig(dir);
+  cfg.threads = 4;
+  inject::CampaignTelemetry cold, warm;
+  const ExperimentResult fresh = runExperiment(workloads::gtcp(), cfg, &cold);
+  const ExperimentResult cached = runExperiment(workloads::gtcp(), cfg, &warm);
+  EXPECT_FALSE(cold.fromCache);
+  EXPECT_TRUE(warm.fromCache);
+  ASSERT_EQ(fresh.records.size(), cached.records.size());
+  EXPECT_EQ(fresh.goldenInstrs, cached.goldenInstrs);
+  EXPECT_EQ(inject::serializeDeterministic(fresh),
+            inject::serializeDeterministic(cached));
+  for (Outcome o : {Outcome::Benign, Outcome::SoftFailure, Outcome::SDC,
+                    Outcome::Hang})
+    EXPECT_EQ(fresh.count(o), cached.count(o));
+  EXPECT_EQ(fresh.recoveredCount(), cached.recoveredCount());
+  for (std::size_t i = 0; i < fresh.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fresh.records[i].withCare.recoveryUsTotal,
+                     cached.records[i].withCare.recoveryUsTotal);
+    EXPECT_DOUBLE_EQ(fresh.records[i].plain.recoveryUsTotal,
+                     cached.records[i].plain.recoveryUsTotal);
+  }
+}
+
 TEST(Experiment, AggregatesAreConsistent) {
   const auto r = runExperiment(workloads::gtcp(),
                                smallConfig("care_test_artifacts/exp_det"));

@@ -166,6 +166,61 @@ TEST(CorruptDestination, FlipsStoredMemoryCell) {
   EXPECT_EQ(after, -1.0); // sign bit flipped
 }
 
+TEST(Injection, PointBeyondProfileCountCompletesWithoutHang) {
+  // An `nth` past the instruction's dynamic execution count is simply never
+  // reached: the run must finish its golden path (no hang, no fault) and
+  // report injected=false.
+  CorpusEnv env;
+  CampaignConfig cfg;
+  cfg.hangFactor = 4;
+  Campaign c(env.p.image.get(), cfg);
+  ASSERT_TRUE(c.profile());
+  vm::Executor prof(env.p.image.get());
+  prof.enableProfiling();
+  ASSERT_EQ(vm::runToCompletion(prof, "main").status, vm::RunStatus::Done);
+  Rng rng(41);
+  inject::InjectionPoint pt = c.sample(rng);
+  pt.nth = prof.profileCount(pt.loc) + 1000;
+  const inject::InjectionResult r = c.runInjection(pt);
+  EXPECT_FALSE(r.injected);
+  EXPECT_EQ(r.outcome, inject::Outcome::Benign);
+  EXPECT_TRUE(r.survived);
+  EXPECT_TRUE(r.outputMatchesGolden);
+}
+
+TEST(Injection, DoubleBitPointFiresWithDistinctBits) {
+  CorpusEnv env;
+  CampaignConfig cfg;
+  cfg.bitsToFlip = 2;
+  Campaign c(env.p.image.get(), cfg);
+  ASSERT_TRUE(c.profile());
+  Rng rng(43);
+  const inject::InjectionPoint pt = c.sample(rng);
+  ASSERT_EQ(pt.bits.size(), 2u);
+  EXPECT_NE(pt.bits[0], pt.bits[1]);
+  // Sampled nth is within the profiled count, so the point is reached.
+  EXPECT_TRUE(c.runInjection(pt).injected);
+}
+
+TEST(CorruptDestination, DoubleBitFlipTouchesBothPositions) {
+  CorpusEnv env;
+  vm::Executor ex(env.p.image.get());
+  const auto& code = env.p.image->module(0).mod->functions[0].code;
+  std::int32_t site = -1;
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i].op == MOp::IAdd && code[i].dst >= 0) {
+      site = static_cast<std::int32_t>(i);
+      break;
+    }
+  ASSERT_GE(site, 0);
+  const std::int16_t dst = code[static_cast<std::size_t>(site)].dst;
+  ex.state().g[dst] = 0;
+  Campaign::corruptDestination(ex, {0, 0, site}, {3, 5});
+  EXPECT_EQ(ex.state().g[dst], 0x28u); // bits 3 and 5, both flipped once
+  Campaign::corruptDestination(ex, {0, 0, site}, {3, 5});
+  EXPECT_EQ(ex.state().g[dst], 0u);
+}
+
 TEST(Campaign, GoldenOutputsStableAcrossCampaigns) {
   CorpusEnv env;
   CampaignConfig cfg;

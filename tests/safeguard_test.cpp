@@ -51,7 +51,7 @@ Env build(opt::OptLevel level, const std::string& tag) {
 }
 
 /// Deterministically find one SIGSEGV-producing injection.
-inject::InjectionPoint findSegv(const Env& e, inject::Campaign& campaign,
+inject::InjectionPoint findSegv(const Env&, inject::Campaign& campaign,
                                 std::uint64_t seed) {
   Rng rng(seed);
   for (int i = 0; i < 500; ++i) {
@@ -122,9 +122,10 @@ TEST(Safeguard, SdcGuardRefusesContaminatedInputs) {
       ++guards;
       EXPECT_FALSE(withCare.careRecovered);
     }
-    if (withCare.careRecovered)
+    if (withCare.careRecovered) {
       EXPECT_TRUE(withCare.outputMatchesGolden)
           << "recovery introduced an SDC";
+    }
   }
   EXPECT_GT(guards, 0) << "SDC guard never exercised";
 }

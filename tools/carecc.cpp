@@ -17,7 +17,8 @@
 #include <vector>
 
 #include "care/driver.hpp"
-#include "inject/injector.hpp"
+#include "inject/engine.hpp"
+#include "inject/experiment.hpp"
 #include "ir/printer.hpp"
 #include "ir/serialize.hpp"
 #include "support/rng.hpp"
@@ -34,6 +35,7 @@ struct Args {
   std::string entry = "main";
   int injections = 200;
   std::uint64_t seed = 2026;
+  int threads = 0; // 0 = hardware concurrency
   bool withCare = true;
   bool inductionRecovery = false;
 };
@@ -46,6 +48,8 @@ void usage() {
                "  -e <entry>         entry function (default main)\n"
                "  -n <count>         injections (inject mode)\n"
                "  -s <seed>          campaign seed\n"
+               "  -j <threads>       campaign workers (0 = all cores; any\n"
+               "                     value yields identical results)\n"
                "  --no-care          inject without Safeguard attached\n"
                "  --iv-recovery      enable the Fig. 11 extension\n");
 }
@@ -145,13 +149,30 @@ int cmdInject(const Args& a) {
   std::printf("golden run: %llu instructions\n",
               static_cast<unsigned long long>(campaign.goldenInstrs()));
 
+  // Pre-derive the points in serial order, then shard the trials over the
+  // worker pool; counts are identical for every -j value.
   Rng rng(a.seed);
+  std::vector<inject::InjectionPoint> points;
+  points.reserve(static_cast<std::size_t>(a.injections));
+  for (int i = 0; i < a.injections; ++i) points.push_back(campaign.sample(rng));
+  inject::CampaignTelemetry tel;
+  tel.workload = a.file;
+  const auto records = inject::runTrialPool(
+      a.injections, a.seed, a.threads,
+      [&](int i, Rng&) {
+        inject::InjectionRecord rec;
+        rec.point = points[static_cast<std::size_t>(i)];
+        rec.plain =
+            campaign.runInjection(rec.point, a.withCare ? &arts : nullptr);
+        return rec;
+      },
+      &tel);
+  inject::publishTelemetry(tel);
+
   int benign = 0, sdc = 0, hang = 0, segv = 0, otherSig = 0, recovered = 0;
   double recoveryUs = 0;
-  for (int i = 0; i < a.injections; ++i) {
-    const auto pt = campaign.sample(rng);
-    const auto r =
-        campaign.runInjection(pt, a.withCare ? &arts : nullptr);
+  for (const inject::InjectionRecord& rec : records) {
+    const inject::InjectionResult& r = rec.plain;
     switch (r.outcome) {
     case inject::Outcome::Benign: ++benign; break;
     case inject::Outcome::SDC: ++sdc; break;
@@ -178,6 +199,10 @@ int cmdInject(const Args& a) {
     std::printf("recovered  : %d (avg %.1f us per recovery)\n", recovered,
                 recovered ? recoveryUs / recovered : 0.0);
   }
+  std::printf("campaign   : %.2fs wall, %.1f trials/s, threads=%d, "
+              "utilization %.0f%%\n",
+              tel.wallSec, tel.trialsPerSec, tel.threads,
+              100.0 * tel.utilization);
   return 0;
 }
 
@@ -201,6 +226,7 @@ int main(int argc, char** argv) {
     else if (s == "-e") a.entry = next();
     else if (s == "-n") a.injections = std::atoi(next().c_str());
     else if (s == "-s") a.seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (s == "-j") a.threads = std::atoi(next().c_str());
     else if (s == "--no-care") a.withCare = false;
     else if (s == "--iv-recovery") a.inductionRecovery = true;
     else if (s == "-h" || s == "--help") { usage(); return 0; }
