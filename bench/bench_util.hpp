@@ -51,9 +51,9 @@ inline void footer() {
               "hit(s)",
               s.campaigns, s.cacheHits);
   if (s.campaigns > 0)
-    std::printf("; %d trials in %.2fs wall (%.1f trials/s, threads=%d, "
-                "utilization %.0f%%)",
-                s.trials, s.wallSec, s.trialsPerSec(), s.threads,
+    std::printf("; %d trials in %.2fs wall (%.1f trials/s, %.1f MIPS, "
+                "threads=%d, utilization %.0f%%)",
+                s.trials, s.wallSec, s.trialsPerSec(), s.mips(), s.threads,
                 100.0 * s.utilization());
   std::printf("\n");
 }

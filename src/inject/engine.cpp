@@ -39,16 +39,18 @@ std::vector<CampaignTelemetry>& telemetryLog() {
 } // namespace
 
 std::string CampaignTelemetry::json() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"event\":\"campaign\",\"workload\":\"%s\",\"level\":\"%s\","
       "\"trials\":%d,\"threads\":%d,\"care_reruns\":%d,"
       "\"from_cache\":%s,\"wall_sec\":%.6f,\"trials_per_sec\":%.2f,"
-      "\"worker_busy_sec\":%.6f,\"utilization\":%.4f}",
+      "\"worker_busy_sec\":%.6f,\"utilization\":%.4f,"
+      "\"sim_instrs\":%llu,\"mips\":%.2f}",
       jsonEscape(workload).c_str(), jsonEscape(level).c_str(), trials,
       threads, careReruns, fromCache ? "true" : "false", wallSec,
-      trialsPerSec, workerBusySec, utilization);
+      trialsPerSec, workerBusySec, utilization,
+      static_cast<unsigned long long>(simInstrs), mips);
   return buf;
 }
 
@@ -98,6 +100,7 @@ TelemetrySummary telemetrySummary() {
     s.trials += t.trials;
     s.wallSec += t.wallSec;
     s.workerBusySec += t.workerBusySec;
+    s.simInstrs += t.simInstrs;
     if (t.threads > s.threads) s.threads = t.threads;
   }
   return s;
@@ -162,6 +165,16 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
         telemetry->wallSec > 0
             ? busySec / (telemetry->wallSec * workers)
             : 0;
+    std::uint64_t instrs = 0;
+    for (const InjectionRecord& rec : records) {
+      instrs += rec.plain.instrsExecuted;
+      if (rec.haveCare) instrs += rec.withCare.instrsExecuted;
+    }
+    telemetry->simInstrs = instrs;
+    telemetry->mips = telemetry->wallSec > 0
+                          ? static_cast<double>(instrs) / 1e6 /
+                                telemetry->wallSec
+                          : 0;
   }
   return records;
 }

@@ -45,6 +45,8 @@ struct CampaignTelemetry {
   double trialsPerSec = 0;
   double workerBusySec = 0;    // sum of per-worker time inside trials
   double utilization = 0;      // workerBusySec / (wallSec * threads)
+  std::uint64_t simInstrs = 0; // dynamic VM instructions across all trials
+  double mips = 0;             // simInstrs / 1e6 / wallSec (0 on cache hit)
 
   /// One JSON object on one line (the CARE_TELEMETRY sink format).
   std::string json() const;
@@ -71,8 +73,13 @@ struct TelemetrySummary {
   int threads = 0;          // max worker count used
   double wallSec = 0;
   double workerBusySec = 0;
+  std::uint64_t simInstrs = 0;
   double trialsPerSec() const { return wallSec > 0 ? trials / wallSec : 0; }
   double utilization() const;
+  /// Aggregate simulated-instruction throughput (millions per wall second).
+  double mips() const {
+    return wallSec > 0 ? static_cast<double>(simInstrs) / 1e6 / wallSec : 0;
+  }
 };
 TelemetrySummary telemetrySummary();
 

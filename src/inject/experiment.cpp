@@ -13,7 +13,7 @@ namespace care::inject {
 namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
-constexpr std::uint32_t kCacheVersion = 5;
+constexpr std::uint32_t kCacheVersion = 6; // v6: +InjectionResult.instrsExecuted
 
 std::string cachePath(const std::string& workload,
                       const ExperimentConfig& cfg) {
@@ -52,6 +52,7 @@ void serializeResult(const ExperimentResult& r, ByteWriter& w,
     w.u8(static_cast<std::uint8_t>(ir.outcome));
     w.u8(static_cast<std::uint8_t>(ir.signal));
     w.u64(ir.latencyInstrs);
+    w.u64(ir.instrsExecuted);
     w.u8(ir.injected ? 1 : 0);
     w.u8(ir.survived ? 1 : 0);
     w.u8(ir.careRecovered ? 1 : 0);
@@ -98,6 +99,7 @@ std::optional<ExperimentResult> readResult(const std::string& path) {
       ir.outcome = static_cast<Outcome>(r.u8());
       ir.signal = static_cast<vm::TrapKind>(r.u8());
       ir.latencyInstrs = r.u64();
+      ir.instrsExecuted = r.u64();
       ir.injected = r.u8() != 0;
       ir.survived = r.u8() != 0;
       ir.careRecovered = r.u8() != 0;

@@ -90,10 +90,14 @@ void Campaign::corruptDestination(Executor& ex, const CodeLoc& loc,
 }
 
 Campaign::Campaign(const vm::Image* image, CampaignConfig cfg)
-    : image_(image), cfg_(std::move(cfg)) {}
+    : image_(image), cfg_(std::move(cfg)) {
+  vm::Memory base;
+  image_->initMemory(base);
+  baseMem_ = vm::MemorySnapshot::capture(base);
+}
 
 bool Campaign::profile() {
-  Executor ex(image_);
+  Executor ex(image_, baseMem_);
   ex.enableProfiling();
   ex.setBudget(2'000'000'000ull);
   const vm::RunResult res = vm::runToCompletion(ex, cfg_.entry);
@@ -152,7 +156,7 @@ InjectionResult Campaign::runInjection(
     const InjectionPoint& pt,
     const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts) const {
   InjectionResult res;
-  Executor ex(image_);
+  Executor ex(image_, baseMem_);
   ex.setBudget(goldenInstrs_ * cfg_.hangFactor + 1'000'000);
   std::unique_ptr<core::Safeguard> safeguard;
   if (careArtifacts) {
@@ -173,6 +177,7 @@ InjectionResult Campaign::runInjection(
 
   const vm::RunResult run = vm::runToCompletion(ex, cfg_.entry);
   res.injected = fired;
+  res.instrsExecuted = run.instrCount;
 
   switch (run.status) {
   case vm::RunStatus::Done:

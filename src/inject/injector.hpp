@@ -37,6 +37,7 @@ struct InjectionResult {
   Outcome outcome = Outcome::Benign;
   vm::TrapKind signal = vm::TrapKind::SegFault; // valid for SoftFailure
   std::uint64_t latencyInstrs = 0; // injection -> trap (SoftFailure only)
+  std::uint64_t instrsExecuted = 0; // dynamic instructions in this run
   bool injected = false;           // the point was actually reached
   // CARE-specific:
   bool survived = false;              // run completed (with CARE attached)
@@ -98,6 +99,10 @@ public:
 private:
   const vm::Image* image_;
   CampaignConfig cfg_;
+  /// The post-initMemory address space, captured once; every profiling /
+  /// injection run CoW-forks it instead of re-running initMemory, so trial
+  /// startup is O(mapped pages) and safe across campaign worker threads.
+  vm::MemorySnapshot baseMem_;
   std::uint64_t goldenInstrs_ = 0;
   std::vector<std::uint64_t> goldenOutput_;
   // Sampling table: injectable static instructions + cumulative exec counts.

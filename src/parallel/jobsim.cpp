@@ -16,7 +16,7 @@ using Clock = std::chrono::steady_clock;
 } // namespace
 
 double JobSimulator::measureGoldenStepSeconds(const std::string& entry) {
-  vm::Executor ex(image_);
+  vm::Executor ex(image_, baseMem_);
   ex.setBudget(2'000'000'000ull);
   int steps = 0;
   const auto t0 = Clock::now();
@@ -65,7 +65,7 @@ JobResult JobSimulator::run(const JobConfig& cfg,
 
   // Rank 0: the real workload under the VM.
   {
-    vm::Executor ex(image_);
+    vm::Executor ex(image_, baseMem_);
     ex.setBudget(2'000'000'000ull);
     core::Safeguard safeguard;
     if (cfg.withCare) {

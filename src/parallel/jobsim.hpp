@@ -60,7 +60,11 @@ class JobSimulator {
 public:
   JobSimulator(const vm::Image* image,
                std::map<std::int32_t, core::ModuleArtifacts> artifacts)
-      : image_(image), artifacts_(std::move(artifacts)) {}
+      : image_(image), artifacts_(std::move(artifacts)) {
+    vm::Memory base;
+    image_->initMemory(base);
+    baseMem_ = vm::MemorySnapshot::capture(base);
+  }
 
   /// Measure the fault-free per-step wall time of rank 0's workload.
   double measureGoldenStepSeconds(const std::string& entry = "main");
@@ -72,6 +76,8 @@ public:
 private:
   const vm::Image* image_;
   std::map<std::int32_t, core::ModuleArtifacts> artifacts_;
+  /// Post-initMemory image, captured once; each simulated job CoW-forks it.
+  vm::MemorySnapshot baseMem_;
 };
 
 /// Analytical checkpoint/restart cost model used for the paper's §5.4

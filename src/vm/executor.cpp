@@ -1,13 +1,16 @@
 #include "vm/executor.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "support/error.hpp"
+#include "vm/exec_common.hpp"
 
 namespace care::vm {
 
 using backend::kNoReg;
-using backend::MemRef;
 using backend::MFunction;
 using backend::MInst;
 using backend::MOp;
@@ -27,41 +30,41 @@ const char* trapKindName(TrapKind k) {
 
 namespace {
 
-std::uint64_t norm32(std::uint64_t v) {
-  return static_cast<std::uint64_t>(
-      static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
-}
+// -1 = no override: fall back to the CARE_INTERP environment variable.
+std::atomic<int> gInterpOverride{-1};
 
-bool intCmp(CmpPred p, std::int64_t a, std::int64_t b) {
-  switch (p) {
-  case CmpPred::EQ: return a == b;
-  case CmpPred::NE: return a != b;
-  case CmpPred::LT: return a < b;
-  case CmpPred::LE: return a <= b;
-  case CmpPred::GT: return a > b;
-  case CmpPred::GE: return a >= b;
-  }
-  return false;
-}
-
-bool fpCmp(CmpPred p, double a, double b) {
-  switch (p) {
-  case CmpPred::EQ: return a == b;
-  case CmpPred::NE: return a != b;
-  case CmpPred::LT: return a < b;
-  case CmpPred::LE: return a <= b;
-  case CmpPred::GT: return a > b;
-  case CmpPred::GE: return a >= b;
-  }
-  return false;
+InterpKind interpFromEnv() {
+  const char* e = std::getenv("CARE_INTERP");
+  if (e && std::string_view(e) == "ref") return InterpKind::Ref;
+  return InterpKind::Fast;
 }
 
 } // namespace
 
-Executor::Executor(const Image* image) : image_(image) {
+InterpKind defaultInterp() {
+  const int o = gInterpOverride.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<InterpKind>(o);
+  static const InterpKind fromEnv = interpFromEnv();
+  return fromEnv;
+}
+
+void setDefaultInterp(InterpKind k) {
+  gInterpOverride.store(static_cast<int>(k), std::memory_order_relaxed);
+}
+
+Executor::Executor(const Image* image)
+    : image_(image), interp_(defaultInterp()) {
   const std::uint64_t sp = image_->initMemory(mem_);
   st_.g[backend::kSP] = sp;
   st_.g[backend::kFP] = sp;
+}
+
+Executor::Executor(const Image* image, const MemorySnapshot& initialMem)
+    : image_(image), interp_(defaultInterp()), mem_(initialMem.fork()) {
+  // The snapshot is the post-initMemory image, whose stack pointer is
+  // always the fixed stack top.
+  st_.g[backend::kSP] = Image::kStackTop;
+  st_.g[backend::kFP] = Image::kStackTop;
 }
 
 std::uint64_t Executor::currentPC() const {
@@ -74,8 +77,11 @@ void Executor::enableProfiling() {
   for (std::size_t m = 0; m < image_->numModules(); ++m) {
     const auto& fns = image_->module(m).mod->functions;
     profile_[m].resize(fns.size());
+    // One pad slot per row: the fast loop's fetch bookkeeping briefly
+    // touches the OobGuard sentinel's index before the guard handler
+    // rolls it back (decode.hpp). Never reported.
     for (std::size_t f = 0; f < fns.size(); ++f)
-      profile_[m][f].assign(fns[f].code.size(), 0);
+      profile_[m][f].assign(fns[f].code.size() + 1, 0);
   }
 }
 
@@ -126,7 +132,6 @@ bool Executor::jumpTo(const CodeLoc& loc) {
 }
 
 RunResult Executor::run(const std::string& entry) {
-  RunResult res;
   if (!started_) {
     FuncRef start = image_->findFunction(entry);
     if (!start.valid()) raise("entry function not found: " + entry);
@@ -136,7 +141,15 @@ RunResult Executor::run(const std::string& entry) {
     mem_.store(st_.g[backend::kSP], MType::I64, Image::kHaltPC);
     started_ = true;
   }
+  return interp_ == InterpKind::Ref ? runReference() : runFast();
+}
 
+// The original big-switch loop, kept verbatim in structure as the executable
+// specification of the VM's semantics: the fast decoded dispatcher
+// (executor_fast.cpp) must match it bit for bit, which the differential
+// tests assert. Scalar semantics live in exec_common.hpp, shared by both.
+RunResult Executor::runReference() {
+  RunResult res;
   auto* g = st_.g;
   auto* f = st_.f;
 
@@ -153,7 +166,7 @@ RunResult Executor::run(const std::string& entry) {
                 [static_cast<std::size_t>(curFunc_)]
                 [static_cast<std::size_t>(curInstr_)];
 
-    // Trap delivery helper: consult the hook; Retry re-executes the same
+    // Trap delivery state: consult the hook; Retry re-executes the same
     // instruction (Safeguard patched the state), Propagate ends the run.
     TrapKind trapKind{};
     std::uint64_t trapAddr = 0;
@@ -164,75 +177,8 @@ RunResult Executor::run(const std::string& entry) {
       trapped = true;
     };
 
-    // Effective address of the instruction's memory operand.
-    auto ea = [&](const MemRef& m) {
-      std::uint64_t a = static_cast<std::uint64_t>(m.disp);
-      if (m.globalIdx >= 0)
-        a += image_->module(static_cast<std::size_t>(curModule_))
-                 .globalAddr[static_cast<std::size_t>(m.globalIdx)];
-      if (m.base != kNoReg) a += g[m.base];
-      if (m.index != kNoReg) a += g[m.index] * m.scale;
-      return a;
-    };
-
-    auto intAlu = [&](MOp op, std::uint64_t a, std::uint64_t b, bool narrow,
-                      std::uint64_t& out) -> bool {
-      const std::int64_t sa = static_cast<std::int64_t>(a);
-      const std::int64_t sb = static_cast<std::int64_t>(b);
-      std::uint64_t r = 0;
-      switch (op) {
-      case MOp::IAdd: r = a + b; break;
-      case MOp::ISub: r = a - b; break;
-      case MOp::IMul: r = a * b; break;
-      case MOp::IDiv:
-      case MOp::IRem: {
-        if (narrow) {
-          const std::int32_t na = static_cast<std::int32_t>(a);
-          const std::int32_t nb = static_cast<std::int32_t>(b);
-          if (nb == 0 || (na == INT32_MIN && nb == -1)) {
-            trapKind = TrapKind::Fpe;
-            trapAddr = 0;
-            trapped = true;
-            return false;
-          }
-          r = static_cast<std::uint64_t>(
-              static_cast<std::int64_t>(op == MOp::IDiv ? na / nb : na % nb));
-        } else {
-          if (sb == 0 || (sa == INT64_MIN && sb == -1)) {
-            trapKind = TrapKind::Fpe;
-            trapAddr = 0;
-            trapped = true;
-            return false;
-          }
-          r = static_cast<std::uint64_t>(op == MOp::IDiv ? sa / sb : sa % sb);
-        }
-        out = narrow ? norm32(r) : r;
-        return true;
-      }
-      case MOp::IAnd: r = a & b; break;
-      case MOp::IOr: r = a | b; break;
-      case MOp::IXor: r = a ^ b; break;
-      case MOp::IShl: r = a << (b & (narrow ? 31 : 63)); break;
-      case MOp::IAshr:
-        r = static_cast<std::uint64_t>(sa >> (b & (narrow ? 31 : 63)));
-        break;
-      default: CARE_UNREACHABLE("bad int alu op");
-      }
-      out = narrow ? norm32(r) : r;
-      return true;
-    };
-
-    auto fpAlu = [&](MOp op, double a, double b, bool narrow) {
-      double r = 0;
-      switch (op) {
-      case MOp::FAdd: r = a + b; break;
-      case MOp::FSub: r = a - b; break;
-      case MOp::FMul: r = a * b; break;
-      case MOp::FDiv: r = a / b; break;
-      default: CARE_UNREACHABLE("bad fp alu op");
-      }
-      return narrow ? static_cast<double>(static_cast<float>(r)) : r;
-    };
+    const LoadedModule& lm =
+        image_->module(static_cast<std::size_t>(curModule_));
 
     std::int32_t nextInstr = curInstr_ + 1;
     std::int32_t nextModule = curModule_, nextFunc = curFunc_;
@@ -245,7 +191,7 @@ RunResult Executor::run(const std::string& entry) {
     case MOp::FMov: f[in.dst] = f[in.src1]; break;
     case MOp::FMovImm: f[in.dst] = in.fimm; break;
     case MOp::Load: {
-      const std::uint64_t a = ea(in.mem);
+      const std::uint64_t a = effectiveAddr(in.mem, g, lm);
       if (backend::mtypeIsFP(in.mem.type)) {
         double v;
         const MemStatus s = mem_.loadF(a, in.mem.type, v);
@@ -260,7 +206,7 @@ RunResult Executor::run(const std::string& entry) {
       break;
     }
     case MOp::Store: {
-      const std::uint64_t a = ea(in.mem);
+      const std::uint64_t a = effectiveAddr(in.mem, g, lm);
       const MemStatus s =
           backend::mtypeIsFP(in.mem.type)
               ? mem_.storeF(a, in.mem.type, f[in.src1])
@@ -268,36 +214,47 @@ RunResult Executor::run(const std::string& entry) {
       if (s != MemStatus::Ok) memTrap(s, a);
       break;
     }
-    case MOp::Lea: g[in.dst] = ea(in.mem); break;
+    case MOp::Lea: g[in.dst] = effectiveAddr(in.mem, g, lm); break;
     case MOp::IAdd: case MOp::ISub: case MOp::IMul: case MOp::IDiv:
     case MOp::IRem: case MOp::IAnd: case MOp::IOr: case MOp::IXor:
     case MOp::IShl: case MOp::IAshr: {
       const std::uint64_t b =
           in.src2 != kNoReg ? g[in.src2] : static_cast<std::uint64_t>(in.imm);
       std::uint64_t out;
-      if (intAlu(in.op, g[in.src1], b, in.narrow, out)) g[in.dst] = out;
+      if (intAluOp(in.op, g[in.src1], b, in.narrow, out)) {
+        g[in.dst] = out;
+      } else {
+        trapKind = TrapKind::Fpe;
+        trapAddr = 0;
+        trapped = true;
+      }
       break;
     }
     case MOp::Sext32: g[in.dst] = norm32(g[in.src1]); break;
     case MOp::IAluMem: {
-      const std::uint64_t a = ea(in.mem);
+      const std::uint64_t a = effectiveAddr(in.mem, g, lm);
       std::uint64_t v;
       const MemStatus s = mem_.load(a, in.mem.type, v);
       if (s != MemStatus::Ok) { memTrap(s, a); break; }
       std::uint64_t out;
-      if (intAlu(static_cast<MOp>(in.sub), g[in.src1], v, in.narrow, out))
+      if (intAluOp(static_cast<MOp>(in.sub), g[in.src1], v, in.narrow, out)) {
         g[in.dst] = out;
+      } else {
+        trapKind = TrapKind::Fpe;
+        trapAddr = 0;
+        trapped = true;
+      }
       break;
     }
     case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
-      f[in.dst] = fpAlu(in.op, f[in.src1], f[in.src2], in.narrow);
+      f[in.dst] = fpAluOp(in.op, f[in.src1], f[in.src2], in.narrow);
       break;
     case MOp::FAluMem: {
-      const std::uint64_t a = ea(in.mem);
+      const std::uint64_t a = effectiveAddr(in.mem, g, lm);
       double v;
       const MemStatus s = mem_.loadF(a, in.mem.type, v);
       if (s != MemStatus::Ok) { memTrap(s, a); break; }
-      f[in.dst] = fpAlu(static_cast<MOp>(in.sub), f[in.src1], v, in.narrow);
+      f[in.dst] = fpAluOp(static_cast<MOp>(in.sub), f[in.src1], v, in.narrow);
       break;
     }
     case MOp::CvtSiToF: {
@@ -344,8 +301,7 @@ RunResult Executor::run(const std::string& entry) {
     case MOp::Call: {
       FuncRef target;
       if (in.externCall) {
-        target = image_->module(static_cast<std::size_t>(curModule_))
-                     .externTargets[static_cast<std::size_t>(in.target)];
+        target = lm.externTargets[static_cast<std::size_t>(in.target)];
       } else {
         target = {curModule_, in.target};
       }

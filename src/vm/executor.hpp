@@ -34,7 +34,10 @@ struct Trap {
 enum class TrapAction : std::uint8_t { Propagate, Retry };
 
 struct MachineState {
-  std::uint64_t g[backend::kNumRegs] = {};
+  /// Integer registers, plus one hardwired-zero slot at [kNumRegs] that the
+  /// predecoded interpreter aliases absent base/index memory operands to
+  /// (branch-free effective addresses). Nothing ever writes the extra slot.
+  std::uint64_t g[backend::kNumRegs + 1] = {};
   double f[backend::kNumRegs] = {};
 };
 
@@ -47,9 +50,27 @@ struct RunResult {
   std::int64_t exitCode = 0;
 };
 
+/// Which interpreter loop run() uses. Fast is the predecoded token-threaded
+/// dispatcher; Ref is the original big-switch loop, kept as the executable
+/// specification the fast path is differentially tested against.
+enum class InterpKind : std::uint8_t { Fast, Ref };
+
+/// Process-wide default for new Executors: CARE_INTERP=ref|fast, overridden
+/// by setDefaultInterp() (carecc --interp=...).
+InterpKind defaultInterp();
+void setDefaultInterp(InterpKind k);
+
 class Executor {
 public:
   explicit Executor(const Image* image);
+  /// Construct with the address space CoW-forked from a pre-built snapshot
+  /// of the image's initial memory, skipping initMemory(). O(mapped pages)
+  /// instead of O(mapped bytes); safe to use concurrently from many
+  /// threads over one shared snapshot (the campaign per-trial path).
+  Executor(const Image* image, const MemorySnapshot& initialMem);
+
+  void setInterp(InterpKind k) { interp_ = k; }
+  InterpKind interp() const { return interp_; }
 
   using TrapHook = std::function<TrapAction(Executor&, const Trap&)>;
   void setTrapHook(TrapHook hook) { trapHook_ = std::move(hook); }
@@ -103,8 +124,19 @@ private:
   };
 
   bool jumpTo(const CodeLoc& loc);
+  RunResult runReference();
+  RunResult runFast();
+  /// The token-threaded loop, compiled twice: the instrumented variant
+  /// carries the per-instruction profiling and injection checks; the plain
+  /// variant (profiling off, nothing armed — golden runs) omits them. If a
+  /// trap hook arms instrumentation mid-run, the plain variant syncs state,
+  /// sets *switchToInstrumented and returns so runFast() can re-enter the
+  /// instrumented one — equivalent to the reference loop's Retry `continue`.
+  template <bool kInstrumented>
+  RunResult runFastImpl(bool* switchToInstrumented = nullptr);
 
   const Image* image_;
+  InterpKind interp_ = InterpKind::Fast;
   Memory mem_;
   MachineState st_;
   std::vector<std::uint64_t> output_;

@@ -1,10 +1,21 @@
 #include "vm/loader.hpp"
 
 #include "support/error.hpp"
+#include "vm/decode.hpp"
 
 namespace care::vm {
 
 using backend::MModule;
+
+Image::Image() = default;
+Image::~Image() = default;
+
+const DecodedImage& Image::decoded() const {
+  std::call_once(decodeOnce_, [this] {
+    decoded_ = std::make_unique<const DecodedImage>(decodeImage(*this));
+  });
+  return *decoded_;
+}
 
 std::int32_t Image::load(const MModule* mod) {
   LoadedModule lm;

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "vm/memory.hpp"
 
 namespace care::vm {
+
+struct DecodedImage;
 
 struct FuncRef {
   std::int32_t module = -1;
@@ -44,6 +48,11 @@ struct CodeLoc {
 
 class Image {
 public:
+  Image();
+  ~Image();
+  Image(const Image&) = delete;
+  Image& operator=(const Image&) = delete;
+
   /// Load a module; the first loaded module is the main executable, later
   /// ones are shared libraries. The MModule must outlive the Image.
   std::int32_t load(const backend::MModule* mod);
@@ -72,6 +81,10 @@ public:
   /// pointer (stack top).
   std::uint64_t initMemory(Memory& mem) const;
 
+  /// The predecoded dispatch streams for the fast interpreter, built
+  /// lazily (and thread-safely) on first use. Must be called after link().
+  const DecodedImage& decoded() const;
+
   static constexpr std::uint64_t kAppCodeBase = 0x0000000000400000ull;
   static constexpr std::uint64_t kAppDataBase = 0x0000000010000000ull;
   static constexpr std::uint64_t kLibBase = 0x00007f0000000000ull;
@@ -85,6 +98,8 @@ public:
 
 private:
   std::vector<LoadedModule> modules_;
+  mutable std::once_flag decodeOnce_;
+  mutable std::unique_ptr<const DecodedImage> decoded_;
 };
 
 } // namespace care::vm

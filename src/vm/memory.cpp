@@ -2,50 +2,106 @@
 
 #include <cstring>
 
+#include "support/error.hpp"
+
 namespace care::vm {
 
 using backend::MType;
 using backend::mtypeSize;
 
+namespace {
+// Fresh page allocations (initial maps + CoW breaks), process-wide. Tests
+// read deltas of this to prove that clone()/checkpoint() share pages
+// instead of deep-copying.
+std::atomic<std::uint64_t> gPageAllocs{0};
+} // namespace
+
+std::uint64_t Memory::pageAllocCount() {
+  return gPageAllocs.load(std::memory_order_relaxed);
+}
+
 void Memory::map(std::uint64_t addr, std::uint64_t size) {
+  if (size > ~0ull - addr)
+    raise("Memory::map: address range wraps the 64-bit space");
+  const std::uint64_t end = addr + size;
   const std::uint64_t first = addr / kPageSize;
-  const std::uint64_t last = (addr + size + kPageSize - 1) / kPageSize;
+  // ceil(end / kPageSize), computed in page numbers so the rounding itself
+  // cannot wrap even when `end` is within a page of 2^64.
+  const std::uint64_t last = end / kPageSize + (end % kPageSize != 0 ? 1 : 0);
   for (std::uint64_t p = first; p < last; ++p) {
     auto& slot = pages_[p];
     if (!slot) {
-      slot = std::make_unique<Page>();
+      slot = std::make_shared<Page>();
       slot->fill(0);
+      gPageAllocs.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  cachePageNo_ = ~0ull;
+  flushTlb();
 }
 
 bool Memory::isMapped(std::uint64_t addr) const {
-  return find(addr / kPageSize) != nullptr;
+  return readPage(addr / kPageSize) != nullptr;
 }
 
-const Memory::Page* Memory::find(std::uint64_t pageNo) const {
-  if (pageNo == cachePageNo_) return cachePage_;
+const std::uint8_t* Memory::readMiss(std::uint64_t pageNo) const {
   auto it = pages_.find(pageNo);
   if (it == pages_.end()) return nullptr;
-  cachePageNo_ = pageNo;
-  cachePage_ = it->second.get();
-  return it->second.get();
+  TlbEntry& e = readTlb_[pageNo & (kTlbEntries - 1)];
+  e.pageNo = pageNo;
+  e.data = it->second->data();
+  return e.data;
 }
 
-Memory::Page* Memory::findOrNull(std::uint64_t pageNo) {
-  return const_cast<Page*>(find(pageNo));
+std::uint8_t* Memory::writeMiss(std::uint64_t pageNo) {
+  auto it = pages_.find(pageNo);
+  if (it == pages_.end()) return nullptr;
+  std::shared_ptr<Page>& slot = it->second;
+  if (slot.use_count() > 1) {
+    // Copy-on-write break: this page is shared with a snapshot/clone.
+    slot = std::make_shared<Page>(*slot);
+    gPageAllocs.fetch_add(1, std::memory_order_relaxed);
+    // A read-TLB entry may still point at the old shared storage.
+    TlbEntry& r = readTlb_[pageNo & (kTlbEntries - 1)];
+    if (r.pageNo == pageNo) r.data = slot->data();
+  }
+  TlbEntry& e = writeTlb_[pageNo & (kTlbEntries - 1)];
+  e.pageNo = pageNo;
+  e.data = slot->data();
+  return e.data;
+}
+
+void Memory::flushTlb() const {
+  readTlb_.fill(TlbEntry{});
+  writeTlb_.fill(TlbEntry{});
+}
+
+void Memory::flushWriteTlb() const { writeTlb_.fill(TlbEntry{}); }
+
+Memory::Memory(Memory&& other) noexcept : pages_(std::move(other.pages_)) {
+  other.pages_.clear();
+  other.flushTlb();
+  flushTlb();
+}
+
+Memory& Memory::operator=(Memory&& other) noexcept {
+  if (this != &other) {
+    pages_ = std::move(other.pages_);
+    other.pages_.clear();
+    other.flushTlb();
+    flushTlb();
+  }
+  return *this;
 }
 
 MemStatus Memory::load(std::uint64_t addr, MType type,
                        std::uint64_t& out) const {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
-  const Page* page = find(addr / kPageSize);
+  const std::uint8_t* page = readPage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
   const std::uint64_t off = addr % kPageSize; // size-aligned: no page split
   std::uint64_t raw = 0;
-  std::memcpy(&raw, page->data() + off, size);
+  std::memcpy(&raw, page + off, size);
   switch (type) {
   case MType::I8: out = raw & 0xff; break;
   case MType::I32:
@@ -60,15 +116,15 @@ MemStatus Memory::load(std::uint64_t addr, MType type,
 MemStatus Memory::loadF(std::uint64_t addr, MType type, double& out) const {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
-  const Page* page = find(addr / kPageSize);
+  const std::uint8_t* page = readPage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
   const std::uint64_t off = addr % kPageSize;
   if (type == MType::F32) {
     float f;
-    std::memcpy(&f, page->data() + off, 4);
+    std::memcpy(&f, page + off, 4);
     out = static_cast<double>(f);
   } else {
-    std::memcpy(&out, page->data() + off, 8);
+    std::memcpy(&out, page + off, 8);
   }
   return MemStatus::Ok;
 }
@@ -76,22 +132,22 @@ MemStatus Memory::loadF(std::uint64_t addr, MType type, double& out) const {
 MemStatus Memory::store(std::uint64_t addr, MType type, std::uint64_t v) {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
-  Page* page = findOrNull(addr / kPageSize);
+  std::uint8_t* page = writePage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
-  std::memcpy(page->data() + addr % kPageSize, &v, size);
+  std::memcpy(page + addr % kPageSize, &v, size);
   return MemStatus::Ok;
 }
 
 MemStatus Memory::storeF(std::uint64_t addr, MType type, double v) {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
-  Page* page = findOrNull(addr / kPageSize);
+  std::uint8_t* page = writePage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
   if (type == MType::F32) {
     const float f = static_cast<float>(v);
-    std::memcpy(page->data() + addr % kPageSize, &f, 4);
+    std::memcpy(page + addr % kPageSize, &f, 4);
   } else {
-    std::memcpy(page->data() + addr % kPageSize, &v, 8);
+    std::memcpy(page + addr % kPageSize, &v, 8);
   }
   return MemStatus::Ok;
 }
@@ -100,11 +156,11 @@ bool Memory::readBytes(std::uint64_t addr, void* out,
                        std::uint64_t len) const {
   auto* dst = static_cast<std::uint8_t*>(out);
   while (len > 0) {
-    const Page* page = find(addr / kPageSize);
+    const std::uint8_t* page = readPage(addr / kPageSize);
     if (!page) return false;
     const std::uint64_t off = addr % kPageSize;
     const std::uint64_t chunk = std::min(len, kPageSize - off);
-    std::memcpy(dst, page->data() + off, chunk);
+    std::memcpy(dst, page + off, chunk);
     dst += chunk;
     addr += chunk;
     len -= chunk;
@@ -112,35 +168,51 @@ bool Memory::readBytes(std::uint64_t addr, void* out,
   return true;
 }
 
-Memory Memory::clone() const {
-  Memory out;
-  for (const auto& [pageNo, page] : pages_)
-    out.pages_[pageNo] = std::make_unique<Page>(*page);
-  return out;
-}
-
-void Memory::restoreFrom(const Memory& other) {
-  pages_.clear();
-  for (const auto& [pageNo, page] : other.pages_)
-    pages_[pageNo] = std::make_unique<Page>(*page);
-  cachePageNo_ = ~0ull;
-  cachePage_ = nullptr;
-}
-
 bool Memory::writeBytes(std::uint64_t addr, const void* data,
                         std::uint64_t len) {
   const auto* src = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
-    Page* page = findOrNull(addr / kPageSize);
+    std::uint8_t* page = writePage(addr / kPageSize);
     if (!page) return false;
     const std::uint64_t off = addr % kPageSize;
     const std::uint64_t chunk = std::min(len, kPageSize - off);
-    std::memcpy(page->data() + off, src, chunk);
+    std::memcpy(page + off, src, chunk);
     src += chunk;
     addr += chunk;
     len -= chunk;
   }
   return true;
+}
+
+Memory Memory::clone() const {
+  // CoW share: both sides keep the same page storage until one stores. Our
+  // cached write translations would let this side scribble on shared pages
+  // without a use_count check, so drop them first.
+  flushWriteTlb();
+  Memory out;
+  out.pages_ = pages_;
+  return out;
+}
+
+void Memory::restoreFrom(const Memory& other) {
+  other.flushWriteTlb();
+  pages_ = other.pages_;
+  flushTlb();
+}
+
+MemorySnapshot MemorySnapshot::capture(Memory& m) {
+  m.flushWriteTlb();
+  MemorySnapshot s;
+  s.pages_ = m.pages_;
+  return s;
+}
+
+Memory MemorySnapshot::fork() const {
+  // Only copies the page map and bumps atomic refcounts — safe to call
+  // concurrently from campaign worker threads.
+  Memory out;
+  out.pages_ = pages_;
+  return out;
 }
 
 } // namespace care::vm

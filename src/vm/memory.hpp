@@ -4,9 +4,21 @@
 // loader. Accessing an unmapped page raises the SegFault trap — the VM
 // analogue of the hardware page-fault -> SIGSEGV path that CARE's entire
 // recovery strategy keys off. Misaligned accesses raise Bus (SIGBUS).
+//
+// Two performance mechanisms back the VM fast path:
+//
+//  * a software TLB: two small direct-mapped translation caches (separate
+//    read and write views) in front of the page table, explicitly flushed
+//    on map()/restoreFrom()/moves and on copy-on-write breaks;
+//  * copy-on-write pages: pages are shared_ptr-backed, so clone() /
+//    restoreFrom() / MemorySnapshot::fork() share page storage and a store
+//    copies only the page it touches. The write TLB only ever caches pages
+//    that are exclusively owned, which is what makes the hit path a plain
+//    pointer compare.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -17,11 +29,17 @@ namespace care::vm {
 
 enum class MemStatus : std::uint8_t { Ok, Unmapped, Misaligned };
 
+class MemorySnapshot;
+
 class Memory {
 public:
   static constexpr std::uint64_t kPageSize = 4096;
+  static constexpr std::uint64_t kPageShift = 12;
+  /// Direct-mapped TLB entries per view (read/write). Power of two.
+  static constexpr std::size_t kTlbEntries = 64;
 
-  /// Map all pages covering [addr, addr+size), zero-filled.
+  /// Map all pages covering [addr, addr+size), zero-filled. Throws
+  /// care::Error if the page-rounded range wraps the 64-bit address space.
   void map(std::uint64_t addr, std::uint64_t size);
   bool isMapped(std::uint64_t addr) const;
 
@@ -40,27 +58,83 @@ public:
 
   std::uint64_t mappedBytes() const { return pages_.size() * kPageSize; }
 
-  /// Deep copy of the whole address space (checkpoint support).
+  /// Snapshot of the whole address space (checkpoint support). O(mapped
+  /// pages) map copy; page *storage* is shared copy-on-write, so untouched
+  /// pages are never duplicated. Not thread-safe w.r.t. this Memory (the
+  /// write TLB is flushed so later stores break sharing).
   Memory clone() const;
-  /// Replace this address space with a copy of `other` (restart support).
+  /// Replace this address space with (a CoW share of) `other`'s. `other`
+  /// may be restored from again; stores on either side break sharing.
   void restoreFrom(const Memory& other);
 
+  /// Fast-path page translation for the decoded-dispatch interpreter.
+  /// Returns the page's backing store, or nullptr if `pageNo` is unmapped.
+  /// writePage() breaks copy-on-write sharing before returning.
+  const std::uint8_t* readPage(std::uint64_t pageNo) const {
+    const TlbEntry& e = readTlb_[pageNo & (kTlbEntries - 1)];
+    if (e.pageNo == pageNo) return e.data;
+    return readMiss(pageNo);
+  }
+  std::uint8_t* writePage(std::uint64_t pageNo) {
+    const TlbEntry& e = writeTlb_[pageNo & (kTlbEntries - 1)];
+    if (e.pageNo == pageNo) return e.data;
+    return writeMiss(pageNo);
+  }
+
+  /// Process-wide count of page allocations (fresh maps + CoW copies).
+  /// Lets tests assert that snapshots share instead of deep-copying.
+  static std::uint64_t pageAllocCount();
+
   Memory() = default;
-  Memory(Memory&&) = default;
-  Memory& operator=(Memory&&) = default;
+  // Moves transfer the page table and explicitly reset both objects'
+  // TLBs: the moved-from object must not retain pointers into pages it no
+  // longer owns, and the target's old entries are meaningless.
+  Memory(Memory&& other) noexcept;
+  Memory& operator=(Memory&& other) noexcept;
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
 
 private:
+  friend class MemorySnapshot;
+
   using Page = std::array<std::uint8_t, kPageSize>;
+  using PageMap = std::unordered_map<std::uint64_t, std::shared_ptr<Page>>;
 
-  const Page* find(std::uint64_t pageNo) const;
-  Page* findOrNull(std::uint64_t pageNo);
+  struct TlbEntry {
+    std::uint64_t pageNo = ~0ull;
+    std::uint8_t* data = nullptr;
+  };
+  using Tlb = std::array<TlbEntry, kTlbEntries>;
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
-  // One-entry lookup cache (hot loops hit the same pages repeatedly).
-  mutable std::uint64_t cachePageNo_ = ~0ull;
-  mutable Page* cachePage_ = nullptr;
+  const std::uint8_t* readMiss(std::uint64_t pageNo) const;
+  std::uint8_t* writeMiss(std::uint64_t pageNo);
+  void flushTlb() const;
+  void flushWriteTlb() const;
+
+  PageMap pages_;
+  mutable Tlb readTlb_{};
+  mutable Tlb writeTlb_{};
+};
+
+/// An immutable, shareable image of an address space. capture() shares the
+/// source's pages (flushing its write TLB so its later stores break the
+/// sharing); fork() builds a CoW Memory from the snapshot and is safe to
+/// call concurrently from many threads — the campaign engine captures the
+/// post-initMemory image once and forks it per trial.
+class MemorySnapshot {
+public:
+  MemorySnapshot() = default;
+
+  static MemorySnapshot capture(Memory& m);
+  Memory fork() const;
+
+  bool empty() const { return pages_.empty(); }
+  std::uint64_t mappedBytes() const {
+    return pages_.size() * Memory::kPageSize;
+  }
+
+private:
+  Memory::PageMap pages_;
 };
 
 } // namespace care::vm

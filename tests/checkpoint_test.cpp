@@ -51,6 +51,51 @@ TEST(Checkpoint, SnapshotRestoreResumesIdentically) {
   EXPECT_EQ(second.instrCount, first.instrCount);
 }
 
+// The CoW acceptance test: checkpoint()/restore() must share page storage
+// with the live address space, not deep-copy it. Page allocations (counted
+// process-wide by Memory::pageAllocCount) may only happen when a store
+// actually breaks sharing.
+TEST(Checkpoint, CheckpointSharesUntouchedPages) {
+  Program p = buildProgram(R"(
+    double grid[2048];
+    int main() {
+      int step = 0;
+      for (step = 0; step < 2; step = step + 1) {
+        grid[step * 8] = grid[step * 8] + 1.5;
+        mpi_barrier();
+      }
+      return (int)(grid[0]);
+    })", opt::OptLevel::O0);
+
+  vm::Executor ex(p.image.get());
+  ASSERT_EQ(ex.run("main").status, vm::RunStatus::Yielded);
+
+  // Taking the checkpoint copies no pages — it CoW-shares all of them.
+  const std::uint64_t before = vm::Memory::pageAllocCount();
+  const vm::Executor::Checkpoint cp = ex.checkpoint();
+  EXPECT_EQ(vm::Memory::pageAllocCount(), before)
+      << "checkpoint() deep-copied untouched pages";
+  EXPECT_GT(cp.bytes(), 4096u);
+
+  // Running the next step breaks sharing only for the pages it stores to
+  // (the touched grid page + the stack page), not the whole address space.
+  const std::uint64_t mappedPages = ex.memory().mappedBytes() / 4096;
+  ASSERT_EQ(ex.run("main").status, vm::RunStatus::Yielded);
+  const std::uint64_t broken = vm::Memory::pageAllocCount() - before;
+  EXPECT_GT(broken, 0u);
+  EXPECT_LT(broken, mappedPages / 2)
+      << "a single step re-copied most of the address space";
+
+  // restore() CoW-shares back; the checkpoint stays reusable.
+  const std::uint64_t beforeRestore = vm::Memory::pageAllocCount();
+  ex.restore(cp);
+  EXPECT_EQ(vm::Memory::pageAllocCount(), beforeRestore)
+      << "restore() deep-copied pages";
+  const vm::RunResult done = vm::runToCompletion(ex, "main");
+  ASSERT_EQ(done.status, vm::RunStatus::Done);
+  EXPECT_EQ(done.exitCode, 1); // grid[0] was only bumped in step 0: (int)1.5
+}
+
 TEST(Checkpoint, RestoreDiscardsLaterWrites) {
   Program p = buildProgram(R"(
     int state = 0;

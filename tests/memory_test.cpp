@@ -1,0 +1,281 @@
+// Memory subsystem tests: map-range overflow guard, software-TLB
+// invalidation across restore/move/CoW interleavings, copy-on-write page
+// sharing (counted via Memory::pageAllocCount), and the typed accessors
+// exercised against both plain and CoW-forked address spaces.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+
+#include "support/error.hpp"
+#include "vm/memory.hpp"
+
+namespace care::test {
+namespace {
+
+using backend::MType;
+using vm::Memory;
+using vm::MemorySnapshot;
+using vm::MemStatus;
+
+constexpr std::uint64_t kPage = Memory::kPageSize;
+
+// --- map() overflow guard ---------------------------------------------------
+
+TEST(MemoryMap, RangeWrappingAddressSpaceThrows) {
+  Memory mem;
+  // addr + size wraps the 64-bit space: must refuse, not map a wrong range.
+  EXPECT_THROW(mem.map(~0ull - 100, 4096), care::Error);
+  EXPECT_THROW(mem.map(0x1000, ~0ull), care::Error);
+  EXPECT_THROW(mem.map(~0ull, 2), care::Error);
+  EXPECT_EQ(mem.mappedBytes(), 0u);
+}
+
+TEST(MemoryMap, RangeEndingAtTopOfAddressSpaceIsFine) {
+  Memory mem;
+  // Last page of the address space: end == 2^64 - 0? end = addr + size must
+  // not wrap, so the highest mappable end is 2^64 - 1.
+  mem.map(~0ull - (kPage - 1), kPage - 1);
+  EXPECT_TRUE(mem.isMapped(~0ull - 8));
+  std::uint64_t v = 0;
+  EXPECT_EQ(mem.load(~0ull - 7, MType::I64, v), MemStatus::Ok);
+}
+
+TEST(MemoryMap, ZeroSizeMapsNothing) {
+  Memory mem;
+  mem.map(0x5000, 0);
+  EXPECT_FALSE(mem.isMapped(0x5000));
+}
+
+// --- TLB invalidation -------------------------------------------------------
+
+// restoreFrom() must drop cached translations: a load served from the TLB
+// before the restore must not be served from the old page after it.
+TEST(MemoryTlb, RestoreFromInvalidatesReadTlb) {
+  Memory a;
+  a.map(0x1000, kPage);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x11), MemStatus::Ok);
+
+  Memory b = a.clone();
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x22), MemStatus::Ok); // CoW break
+
+  // Warm a's read TLB on the post-break page.
+  std::uint64_t v = 0;
+  ASSERT_EQ(a.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x22u);
+
+  a.restoreFrom(b);
+  ASSERT_EQ(a.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x11u) << "stale read-TLB entry survived restoreFrom()";
+}
+
+// The write TLB only ever caches exclusively-owned pages; a cached write
+// translation must not let a store scribble on pages that became shared.
+TEST(MemoryTlb, CloneAfterWarmWriteTlbStillCopiesOnWrite) {
+  Memory a;
+  a.map(0x1000, kPage);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x11), MemStatus::Ok); // warm write TLB
+
+  Memory b = a.clone(); // shares the page; must drop a's write translation
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x22), MemStatus::Ok);
+
+  std::uint64_t v = 0;
+  ASSERT_EQ(b.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x11u) << "store through a stale write-TLB entry hit a page "
+                         "shared with the clone";
+}
+
+TEST(MemoryTlb, SnapshotCaptureAfterWarmWriteTlbStillCopiesOnWrite) {
+  Memory a;
+  a.map(0x1000, kPage);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x11), MemStatus::Ok);
+
+  const MemorySnapshot snap = MemorySnapshot::capture(a);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x22), MemStatus::Ok);
+
+  Memory forked = snap.fork();
+  std::uint64_t v = 0;
+  ASSERT_EQ(forked.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x11u) << "snapshot saw a store made after capture()";
+}
+
+// Moves transfer the page table; neither side may keep translations into
+// pages it no longer (exclusively) owns.
+TEST(MemoryTlb, MoveConstructInvalidatesBothSides) {
+  Memory a;
+  a.map(0x1000, kPage);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x11), MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(a.load(0x1000, MType::I64, v), MemStatus::Ok); // warm both TLBs
+
+  Memory b(std::move(a));
+  ASSERT_EQ(b.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x11u);
+
+  // Moved-from object is an empty address space; cached entries must not
+  // resurrect the old pages.
+  EXPECT_EQ(a.load(0x1000, MType::I64, v), MemStatus::Unmapped);
+  EXPECT_EQ(a.store(0x1000, MType::I64, 0x33), MemStatus::Unmapped);
+  ASSERT_EQ(b.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x11u);
+}
+
+TEST(MemoryTlb, MoveAssignInvalidatesTargetTlb) {
+  Memory a;
+  a.map(0x1000, kPage);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0xAA), MemStatus::Ok);
+
+  Memory b;
+  b.map(0x1000, kPage);
+  ASSERT_EQ(b.store(0x1000, MType::I64, 0xBB), MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(b.load(0x1000, MType::I64, v), MemStatus::Ok); // warm b's TLB
+
+  b = std::move(a);
+  ASSERT_EQ(b.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0xAAu) << "move-assignment left the target's old TLB live";
+}
+
+// The interleaving the fast interpreter depends on: map() of a fresh page
+// after a load miss cached "unmapped is impossible" state nowhere — a TLB
+// entry for page P must not shadow a later map() that replaces P's backing.
+TEST(MemoryTlb, MapInvalidatesExistingTranslations) {
+  Memory a;
+  a.map(0x1000, kPage);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x11), MemStatus::Ok);
+  Memory b = a.clone();
+  (void)b; // page now shared; a's write TLB was flushed by clone()
+
+  // map() of an overlapping range keeps existing pages but must flush, so
+  // the next store re-checks sharing and breaks CoW.
+  a.map(0x1000, kPage);
+  ASSERT_EQ(a.store(0x1000, MType::I64, 0x22), MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(b.load(0x1000, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0x11u);
+}
+
+// --- copy-on-write sharing (page-allocation accounting) ---------------------
+
+TEST(MemoryCow, CloneAllocatesNoPagesUntilStore) {
+  Memory a;
+  a.map(0, 8 * kPage);
+  const std::uint64_t before = Memory::pageAllocCount();
+  Memory b = a.clone();
+  EXPECT_EQ(Memory::pageAllocCount(), before) << "clone() deep-copied pages";
+
+  // First store to a shared page copies exactly that one page.
+  ASSERT_EQ(b.store(3 * kPage + 8, MType::I64, 7), MemStatus::Ok);
+  EXPECT_EQ(Memory::pageAllocCount(), before + 1);
+  // Second store to the same (now exclusive) page copies nothing.
+  ASSERT_EQ(b.store(3 * kPage + 16, MType::I64, 8), MemStatus::Ok);
+  EXPECT_EQ(Memory::pageAllocCount(), before + 1);
+}
+
+TEST(MemoryCow, SnapshotForkSharesAllPages) {
+  Memory a;
+  a.map(0, 16 * kPage);
+  ASSERT_EQ(a.store(0, MType::I64, 42), MemStatus::Ok);
+  const MemorySnapshot snap = MemorySnapshot::capture(a);
+
+  const std::uint64_t before = Memory::pageAllocCount();
+  Memory f1 = snap.fork();
+  Memory f2 = snap.fork();
+  EXPECT_EQ(Memory::pageAllocCount(), before) << "fork() deep-copied pages";
+
+  // Forks are isolated from each other and from the source.
+  ASSERT_EQ(f1.store(0, MType::I64, 100), MemStatus::Ok);
+  ASSERT_EQ(f2.store(0, MType::I64, 200), MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(a.load(0, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 42u);
+  ASSERT_EQ(f1.load(0, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 100u);
+  ASSERT_EQ(f2.load(0, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, 200u);
+  EXPECT_EQ(Memory::pageAllocCount(), before + 2); // one CoW break per fork
+}
+
+// --- typed accessors, plain and CoW-forked ----------------------------------
+
+// The accessor semantics (extension rules, alignment faults, page-spanning
+// raw access) must hold identically on an address space whose pages are
+// CoW-shared with a snapshot — the campaign per-trial configuration.
+class MemoryAccessors : public ::testing::TestWithParam<bool> {
+protected:
+  // Returns a Memory with [0x1000, 0x3000) mapped; when the param is true,
+  // every page is CoW-shared with `snap_`.
+  Memory make() {
+    Memory m;
+    m.map(0x1000, 2 * kPage);
+    if (GetParam()) {
+      snap_ = MemorySnapshot::capture(m);
+      return snap_.fork();
+    }
+    return m;
+  }
+  MemorySnapshot snap_;
+};
+
+TEST_P(MemoryAccessors, I8LoadZeroExtends) {
+  Memory m = make();
+  ASSERT_EQ(m.store(0x1001, MType::I8, static_cast<std::uint64_t>(-2)),
+            MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(m.load(0x1001, MType::I8, v), MemStatus::Ok);
+  EXPECT_EQ(v, 0xfeu);
+}
+
+TEST_P(MemoryAccessors, I32LoadSignExtends) {
+  Memory m = make();
+  ASSERT_EQ(m.store(0x1004, MType::I32, static_cast<std::uint64_t>(-7)),
+            MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(m.load(0x1004, MType::I32, v), MemStatus::Ok);
+  EXPECT_EQ(static_cast<std::int64_t>(v), -7);
+}
+
+TEST_P(MemoryAccessors, I64RoundTripsRaw) {
+  Memory m = make();
+  const std::uint64_t pattern = 0x8000'0000'dead'beefull;
+  ASSERT_EQ(m.store(0x1008, MType::I64, pattern), MemStatus::Ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(m.load(0x1008, MType::I64, v), MemStatus::Ok);
+  EXPECT_EQ(v, pattern);
+}
+
+TEST_P(MemoryAccessors, MisalignmentFaultsAtEveryWidth) {
+  Memory m = make();
+  std::uint64_t v;
+  double fv;
+  EXPECT_EQ(m.load(0x1002, MType::I32, v), MemStatus::Misaligned);
+  EXPECT_EQ(m.load(0x1004, MType::I64, v), MemStatus::Misaligned);
+  EXPECT_EQ(m.loadF(0x1002, MType::F32, fv), MemStatus::Misaligned);
+  EXPECT_EQ(m.loadF(0x100c, MType::F64, fv), MemStatus::Misaligned);
+  EXPECT_EQ(m.store(0x1002, MType::I32, 0), MemStatus::Misaligned);
+  EXPECT_EQ(m.store(0x1004, MType::I64, 0), MemStatus::Misaligned);
+  EXPECT_EQ(m.storeF(0x1002, MType::F32, 0.0), MemStatus::Misaligned);
+  EXPECT_EQ(m.storeF(0x100c, MType::F64, 0.0), MemStatus::Misaligned);
+}
+
+TEST_P(MemoryAccessors, BytesSpanPageBoundary) {
+  Memory m = make();
+  std::uint8_t data[64];
+  for (int i = 0; i < 64; ++i) data[i] = static_cast<std::uint8_t>(i * 3);
+  const std::uint64_t addr = 0x2000 - 32; // straddles the two mapped pages
+  ASSERT_TRUE(m.writeBytes(addr, data, 64));
+  std::uint8_t back[64] = {};
+  ASSERT_TRUE(m.readBytes(addr, back, 64));
+  EXPECT_EQ(std::memcmp(data, back, 64), 0);
+  // Running past the mapped range fails without partial-write confusion.
+  EXPECT_FALSE(m.readBytes(0x3000 - 8, back, 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(PlainAndCowForked, MemoryAccessors,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "CowForked" : "Plain";
+                         });
+
+} // namespace
+} // namespace care::test

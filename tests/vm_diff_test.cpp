@@ -1,0 +1,272 @@
+// Differential testing of the predecoded fast interpreter against the
+// reference big-switch loop (the executable specification). Every
+// observable — status, instruction count, exit code, register file (bitwise),
+// emitted output, per-static-instruction profile counts, and trap
+// kind/pc/address — must be identical:
+//  * golden (fault-free) runs of all five workloads,
+//  * budget-capped runs stopping mid-execution after a few thousand
+//    instructions,
+//  * trapping programs (SegFault / Fpe),
+//  * fuzzed injection runs that corrupt a register mid-flight at sampled hot
+//    instructions and let the corruption play out to whatever end state.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "support/rng.hpp"
+#include "testutil.hpp"
+#include "workloads/workloads.hpp"
+
+namespace care::test {
+namespace {
+
+using workloads::Workload;
+
+// The lowered module must outlive the Image.
+struct BuildKeep {
+  std::unique_ptr<ir::Module> irMod;
+  std::unique_ptr<backend::MModule> mMod;
+};
+
+std::unique_ptr<vm::Image> lowerWorkload(const Workload& w, BuildKeep& keep) {
+  keep.irMod = std::make_unique<ir::Module>(w.name);
+  for (const auto& s : w.sources)
+    lang::compileIntoModule(s.content, s.name, *keep.irMod);
+  ir::verifyOrDie(*keep.irMod);
+  opt::optimize(*keep.irMod, opt::OptLevel::O0);
+  keep.mMod = backend::lowerModule(*keep.irMod);
+  auto image = std::make_unique<vm::Image>();
+  image->load(keep.mMod.get());
+  image->link();
+  return image;
+}
+
+// Run to completion (resuming across barriers) under the given interpreter.
+vm::RunResult runUnder(vm::Executor& ex, vm::InterpKind kind,
+                       const std::string& entry) {
+  ex.setInterp(kind);
+  return vm::runToCompletion(ex, entry);
+}
+
+void expectSameResult(const vm::RunResult& a, const vm::RunResult& b,
+                      const std::string& tag) {
+  EXPECT_EQ(a.status, b.status) << tag;
+  EXPECT_EQ(a.instrCount, b.instrCount) << tag;
+  EXPECT_EQ(a.exitCode, b.exitCode) << tag;
+  EXPECT_EQ(a.trap.kind, b.trap.kind) << tag;
+  EXPECT_EQ(a.trap.pc, b.trap.pc) << tag;
+  EXPECT_EQ(a.trap.addr, b.trap.addr) << tag;
+}
+
+void expectSameMachine(vm::Executor& a, vm::Executor& b,
+                       const std::string& tag) {
+  EXPECT_EQ(std::memcmp(a.state().g, b.state().g, sizeof a.state().g), 0)
+      << tag << ": integer register files differ";
+  EXPECT_EQ(std::memcmp(a.state().f, b.state().f, sizeof a.state().f), 0)
+      << tag << ": FP register files differ";
+  EXPECT_EQ(a.output(), b.output()) << tag << ": emitted output differs";
+}
+
+void expectSameProfile(const vm::Image& image, vm::Executor& a,
+                       vm::Executor& b, const std::string& tag) {
+  for (std::size_t m = 0; m < image.numModules(); ++m) {
+    const auto& fns = image.module(m).mod->functions;
+    for (std::size_t fi = 0; fi < fns.size(); ++fi)
+      for (std::size_t i = 0; i < fns[fi].code.size(); ++i) {
+        const vm::CodeLoc loc{static_cast<std::int32_t>(m),
+                              static_cast<std::int32_t>(fi),
+                              static_cast<std::int32_t>(i)};
+        ASSERT_EQ(a.profileCount(loc), b.profileCount(loc))
+            << tag << ": profile count diverges at (" << m << "," << fi << ","
+            << i << ")";
+      }
+  }
+}
+
+class WorkloadDiff : public ::testing::TestWithParam<const Workload*> {};
+
+TEST_P(WorkloadDiff, GoldenRunBitIdentical) {
+  const Workload& w = *GetParam();
+  BuildKeep keep;
+  const auto image = lowerWorkload(w, keep);
+
+  vm::Executor ref(image.get());
+  ref.enableProfiling();
+  ref.setBudget(500'000'000);
+  const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
+  ASSERT_EQ(rr.status, vm::RunStatus::Done) << w.name;
+
+  vm::Executor fast(image.get());
+  fast.enableProfiling();
+  fast.setBudget(500'000'000);
+  const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
+
+  expectSameResult(rr, fr, w.name);
+  expectSameMachine(ref, fast, w.name);
+  expectSameProfile(*image, ref, fast, w.name);
+}
+
+TEST_P(WorkloadDiff, BudgetCappedRunStopsIdentically) {
+  const Workload& w = *GetParam();
+  BuildKeep keep;
+  const auto image = lowerWorkload(w, keep);
+
+  for (const std::uint64_t budget : {1ull, 1000ull, 4096ull, 5001ull}) {
+    vm::Executor ref(image.get());
+    ref.setBudget(budget);
+    const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
+    ASSERT_EQ(rr.status, vm::RunStatus::BudgetExceeded) << w.name;
+
+    vm::Executor fast(image.get());
+    fast.setBudget(budget);
+    const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
+
+    const std::string tag = w.name + " budget=" + std::to_string(budget);
+    expectSameResult(rr, fr, tag);
+    expectSameMachine(ref, fast, tag);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadDiff,
+    ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<const Workload*>& info) {
+      std::string n = info.param->name;
+      for (char& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+// --- trapping programs ------------------------------------------------------
+
+void diffProgram(const std::string& src, vm::RunStatus wantStatus,
+                 vm::TrapKind wantKind, const std::string& tag) {
+  Program p = buildProgram(src, opt::OptLevel::O0);
+  vm::Executor ref(p.image.get());
+  ref.setBudget(10'000'000);
+  const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, "main");
+  ASSERT_EQ(rr.status, wantStatus) << tag;
+  if (wantStatus == vm::RunStatus::Trapped) {
+    ASSERT_EQ(rr.trap.kind, wantKind) << tag;
+  }
+
+  vm::Executor fast(p.image.get());
+  fast.setBudget(10'000'000);
+  const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, "main");
+  expectSameResult(rr, fr, tag);
+  expectSameMachine(ref, fast, tag);
+}
+
+TEST(TrapDiff, OutOfBoundsStoreSegfaultsIdentically) {
+  diffProgram(R"(
+    int a[4];
+    int main() {
+      int i = 1000000;
+      a[i] = 3;
+      return a[0];
+    })", vm::RunStatus::Trapped, vm::TrapKind::SegFault, "oob-store");
+}
+
+TEST(TrapDiff, OutOfBoundsLoadSegfaultsIdentically) {
+  diffProgram(R"(
+    double a[8];
+    int main() {
+      int i = 800000;
+      return (int)(a[i]);
+    })", vm::RunStatus::Trapped, vm::TrapKind::SegFault, "oob-load");
+}
+
+TEST(TrapDiff, DivisionByZeroFpeIdentically) {
+  diffProgram(R"(
+    int main() {
+      int x = 7;
+      int y = 0;
+      return x / y;
+    })", vm::RunStatus::Trapped, vm::TrapKind::Fpe, "div-zero");
+}
+
+TEST(TrapDiff, RemainderOverflowFpeIdentically) {
+  diffProgram(R"(
+    int main() {
+      int x = -2147483648;
+      int y = -1;
+      return x % y;
+    })", vm::RunStatus::Trapped, vm::TrapKind::Fpe, "rem-overflow");
+}
+
+// --- injection fuzz ---------------------------------------------------------
+
+// Corrupt one integer register at the n-th execution of a hot instruction
+// and let the fault play out: soft failure, masked run, or silent
+// corruption — whatever happens, both interpreters must land on the same
+// bits. This sweeps the trap paths (SegFault/Bus/BadPC from wild
+// addresses), the injection arming/firing bookkeeping, and the
+// post-injection instrumented→plain handoff in one go.
+TEST(InjectionDiff, RegisterCorruptionPlaysOutIdentically) {
+  const Workload& w = workloads::hpccg();
+  BuildKeep keep;
+  const auto image = lowerWorkload(w, keep);
+
+  // Profile once (reference loop) to find hot instructions worth hitting.
+  vm::Executor prof(image.get());
+  prof.enableProfiling();
+  prof.setBudget(500'000'000);
+  const vm::RunResult golden = runUnder(prof, vm::InterpKind::Ref, w.entry);
+  ASSERT_EQ(golden.status, vm::RunStatus::Done);
+
+  struct Hot {
+    vm::CodeLoc loc;
+    std::uint64_t count;
+  };
+  std::vector<Hot> hot;
+  for (std::size_t m = 0; m < image->numModules(); ++m) {
+    const auto& fns = image->module(m).mod->functions;
+    for (std::size_t fi = 0; fi < fns.size(); ++fi)
+      for (std::size_t i = 0; i < fns[fi].code.size(); ++i) {
+        const vm::CodeLoc loc{static_cast<std::int32_t>(m),
+                              static_cast<std::int32_t>(fi),
+                              static_cast<std::int32_t>(i)};
+        const std::uint64_t c = prof.profileCount(loc);
+        if (c > 1000) hot.push_back({loc, c});
+      }
+  }
+  ASSERT_GT(hot.size(), 8u);
+
+  Rng rng(0xD1FF);
+  int trapped = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Hot& h = hot[rng.next() % hot.size()];
+    const std::uint64_t nth = 1 + rng.next() % h.count;
+    const int reg = static_cast<int>(rng.next() % backend::kNumRegs);
+    const int bit = static_cast<int>(rng.next() % 64);
+    const auto corrupt = [reg, bit](vm::Executor& ex) {
+      ex.state().g[reg] ^= 1ull << bit;
+    };
+
+    vm::Executor ref(image.get());
+    ref.setBudget(2 * golden.instrCount);
+    ref.armInjection(h.loc, nth, corrupt);
+    const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
+
+    vm::Executor fast(image.get());
+    fast.setBudget(2 * golden.instrCount);
+    fast.armInjection(h.loc, nth, corrupt);
+    const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
+
+    const std::string tag = "trial " + std::to_string(trial) + " @(" +
+                            std::to_string(h.loc.module) + "," +
+                            std::to_string(h.loc.func) + "," +
+                            std::to_string(h.loc.instr) + ") nth=" +
+                            std::to_string(nth) + " g" + std::to_string(reg) +
+                            "^bit" + std::to_string(bit);
+    expectSameResult(rr, fr, tag);
+    expectSameMachine(ref, fast, tag);
+    if (rr.status == vm::RunStatus::Trapped) ++trapped;
+  }
+  // The sweep should have found at least one hard fault to be meaningful.
+  EXPECT_GT(trapped, 0) << "fuzz never produced a trap; widen the sweep";
+}
+
+} // namespace
+} // namespace care::test

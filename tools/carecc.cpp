@@ -50,6 +50,8 @@ void usage() {
                "  -s <seed>          campaign seed\n"
                "  -j <threads>       campaign workers (0 = all cores; any\n"
                "                     value yields identical results)\n"
+               "  --interp=fast|ref  interpreter loop (default fast; ref is\n"
+               "                     the big-switch reference, bit-identical)\n"
                "  --no-care          inject without Safeguard attached\n"
                "  --iv-recovery      enable the Fig. 11 extension\n");
 }
@@ -199,9 +201,9 @@ int cmdInject(const Args& a) {
     std::printf("recovered  : %d (avg %.1f us per recovery)\n", recovered,
                 recovered ? recoveryUs / recovered : 0.0);
   }
-  std::printf("campaign   : %.2fs wall, %.1f trials/s, threads=%d, "
-              "utilization %.0f%%\n",
-              tel.wallSec, tel.trialsPerSec, tel.threads,
+  std::printf("campaign   : %.2fs wall, %.1f trials/s, %.1f MIPS, "
+              "threads=%d, utilization %.0f%%\n",
+              tel.wallSec, tel.trialsPerSec, tel.mips, tel.threads,
               100.0 * tel.utilization);
   return 0;
 }
@@ -227,6 +229,8 @@ int main(int argc, char** argv) {
     else if (s == "-n") a.injections = std::atoi(next().c_str());
     else if (s == "-s") a.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (s == "-j") a.threads = std::atoi(next().c_str());
+    else if (s == "--interp=ref") vm::setDefaultInterp(vm::InterpKind::Ref);
+    else if (s == "--interp=fast") vm::setDefaultInterp(vm::InterpKind::Fast);
     else if (s == "--no-care") a.withCare = false;
     else if (s == "--iv-recovery") a.inductionRecovery = true;
     else if (s == "-h" || s == "--help") { usage(); return 0; }
