@@ -24,10 +24,40 @@ std::string jsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\t': out += "\\t"; break;
+    case '\r': out += "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // Remaining control characters: \u00XX keeps one record per line.
+        char u[8];
+        std::snprintf(u, sizeof(u), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += u;
+      } else {
+        out += c;
+      }
+      break;
+    }
   }
   return out;
+}
+
+/// Append `"key":<formatted value>` — telemetry JSON is built by string
+/// concatenation so arbitrarily long workload/level names can't truncate
+/// the record (the old fixed snprintf buffer clipped silently).
+template <typename... Args>
+void jsonField(std::string& out, const char* key, const char* fmt,
+               Args... args) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
 }
 
 std::mutex gTelemetryMutex;
@@ -39,19 +69,29 @@ std::vector<CampaignTelemetry>& telemetryLog() {
 } // namespace
 
 std::string CampaignTelemetry::json() const {
-  char buf[640];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"event\":\"campaign\",\"workload\":\"%s\",\"level\":\"%s\","
-      "\"trials\":%d,\"threads\":%d,\"care_reruns\":%d,"
-      "\"from_cache\":%s,\"wall_sec\":%.6f,\"trials_per_sec\":%.2f,"
-      "\"worker_busy_sec\":%.6f,\"utilization\":%.4f,"
-      "\"sim_instrs\":%llu,\"mips\":%.2f}",
-      jsonEscape(workload).c_str(), jsonEscape(level).c_str(), trials,
-      threads, careReruns, fromCache ? "true" : "false", wallSec,
-      trialsPerSec, workerBusySec, utilization,
-      static_cast<unsigned long long>(simInstrs), mips);
-  return buf;
+  std::string out = "{\"event\":\"campaign\",\"workload\":\"";
+  out += jsonEscape(workload);
+  out += "\",\"level\":\"";
+  out += jsonEscape(level);
+  out += "\",";
+  jsonField(out, "trials", "%d,", trials);
+  jsonField(out, "threads", "%d,", threads);
+  jsonField(out, "care_reruns", "%d,", careReruns);
+  out += "\"from_cache\":";
+  out += fromCache ? "true," : "false,";
+  jsonField(out, "wall_sec", "%.6f,", wallSec);
+  jsonField(out, "trials_per_sec", "%.2f,", trialsPerSec);
+  jsonField(out, "worker_busy_sec", "%.6f,", workerBusySec);
+  jsonField(out, "utilization", "%.4f,", utilization);
+  jsonField(out, "sim_instrs", "%llu,",
+            static_cast<unsigned long long>(simInstrs));
+  jsonField(out, "mips", "%.2f,", mips);
+  jsonField(out, "ckpt_count", "%llu,",
+            static_cast<unsigned long long>(ckptCount));
+  jsonField(out, "replay_saved_instrs", "%llu,",
+            static_cast<unsigned long long>(replaySavedInstrs));
+  jsonField(out, "effective_mips", "%.2f}", effectiveMips);
+  return out;
 }
 
 int resolveThreads(int requested, int trials) {
@@ -101,6 +141,7 @@ TelemetrySummary telemetrySummary() {
     s.wallSec += t.wallSec;
     s.workerBusySec += t.workerBusySec;
     s.simInstrs += t.simInstrs;
+    s.replaySavedInstrs += t.replaySavedInstrs;
     if (t.threads > s.threads) s.threads = t.threads;
   }
   return s;
@@ -124,6 +165,7 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
     busySec = secondsSince(t0);
   } else {
     std::atomic<int> next{0};
+    std::atomic<bool> stop{false};
     std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
     std::vector<std::exception_ptr> errors(
         static_cast<std::size_t>(workers));
@@ -133,6 +175,10 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
       pool.emplace_back([&, w] {
         try {
           for (;;) {
+            // A worker that threw raises `stop` so its peers abandon the
+            // remaining trials instead of draining the whole counter; the
+            // records array is discarded anyway once the error rethrows.
+            if (stop.load(std::memory_order_relaxed)) break;
             const int i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= trials) break;
             const Clock::time_point w0 = Clock::now();
@@ -144,6 +190,7 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
           }
         } catch (...) {
           errors[static_cast<std::size_t>(w)] = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
         }
       });
     }
@@ -166,15 +213,27 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
             ? busySec / (telemetry->wallSec * workers)
             : 0;
     std::uint64_t instrs = 0;
+    std::uint64_t saved = 0;
     for (const InjectionRecord& rec : records) {
-      instrs += rec.plain.instrsExecuted;
-      if (rec.haveCare) instrs += rec.withCare.instrsExecuted;
+      // instrsExecuted is absolute (counted from instruction 0); subtract
+      // the replayed prefix so simInstrs/mips report work actually done.
+      instrs += rec.plain.instrsExecuted - rec.plain.replaySavedInstrs;
+      saved += rec.plain.replaySavedInstrs;
+      if (rec.haveCare) {
+        instrs += rec.withCare.instrsExecuted - rec.withCare.replaySavedInstrs;
+        saved += rec.withCare.replaySavedInstrs;
+      }
     }
     telemetry->simInstrs = instrs;
+    telemetry->replaySavedInstrs = saved;
     telemetry->mips = telemetry->wallSec > 0
                           ? static_cast<double>(instrs) / 1e6 /
                                 telemetry->wallSec
                           : 0;
+    telemetry->effectiveMips =
+        telemetry->wallSec > 0
+            ? static_cast<double>(instrs + saved) / 1e6 / telemetry->wallSec
+            : 0;
   }
   return records;
 }
@@ -207,7 +266,10 @@ std::vector<InjectionRecord> runCampaign(
   };
   std::vector<InjectionRecord> records =
       runTrialPool(injections, seed, threads, trial, telemetry);
-  if (telemetry) telemetry->careReruns = careReruns.load();
+  if (telemetry) {
+    telemetry->careReruns = careReruns.load();
+    telemetry->ckptCount = campaign.checkpoints().size();
+  }
   return records;
 }
 

@@ -45,8 +45,16 @@ struct CampaignTelemetry {
   double trialsPerSec = 0;
   double workerBusySec = 0;    // sum of per-worker time inside trials
   double utilization = 0;      // workerBusySec / (wallSec * threads)
-  std::uint64_t simInstrs = 0; // dynamic VM instructions across all trials
+  std::uint64_t simInstrs = 0; // dynamic VM instructions actually executed
+                               // across all trials (replayed prefixes and
+                               // cache hits excluded)
   double mips = 0;             // simInstrs / 1e6 / wallSec (0 on cache hit)
+  // Replay cache (DESIGN.md §4c):
+  std::uint64_t ckptCount = 0; // golden-run checkpoints held (0 = off)
+  std::uint64_t replaySavedInstrs = 0; // golden-prefix instructions the
+                                       // cache fast-forwarded over
+  double effectiveMips = 0;    // (simInstrs + replaySavedInstrs) / 1e6 /
+                               // wallSec — as-if throughput incl. replay
 
   /// One JSON object on one line (the CARE_TELEMETRY sink format).
   std::string json() const;
@@ -74,11 +82,18 @@ struct TelemetrySummary {
   double wallSec = 0;
   double workerBusySec = 0;
   std::uint64_t simInstrs = 0;
+  std::uint64_t replaySavedInstrs = 0;
   double trialsPerSec() const { return wallSec > 0 ? trials / wallSec : 0; }
   double utilization() const;
   /// Aggregate simulated-instruction throughput (millions per wall second).
   double mips() const {
     return wallSec > 0 ? static_cast<double>(simInstrs) / 1e6 / wallSec : 0;
+  }
+  /// As-if throughput counting replayed golden prefixes as simulated.
+  double effectiveMips() const {
+    return wallSec > 0 ? static_cast<double>(simInstrs + replaySavedInstrs) /
+                             1e6 / wallSec
+                       : 0;
   }
 };
 TelemetrySummary telemetrySummary();

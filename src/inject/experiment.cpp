@@ -13,13 +13,15 @@ namespace care::inject {
 namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
-constexpr std::uint32_t kCacheVersion = 6; // v6: +InjectionResult.instrsExecuted
+constexpr std::uint32_t kCacheVersion = 7; // v7: ckptInterval in the key
 
 std::string cachePath(const std::string& workload,
-                      const ExperimentConfig& cfg) {
+                      const ExperimentConfig& cfg,
+                      std::uint64_t ckptInterval) {
   // cfg.threads is deliberately absent: the engine guarantees identical
   // records for every worker count, so serial- and parallel-written
-  // campaigns share one cache entry.
+  // campaigns share one cache entry. The resolved replay-cache interval is
+  // included (see ExperimentConfig::ckptInterval).
   Md5 h;
   h.update(workload);
   h.update(cfg.level == opt::OptLevel::O0 ? "O0" : "O1");
@@ -30,6 +32,7 @@ std::string cachePath(const std::string& workload,
                                 cfg.armor.maximalSlicing ? 1u : 0u,
                                 cfg.patchBaseFirst ? 1u : 0u,
                                 cfg.armor.inductionRecovery ? 1u : 0u,
+                                ckptInterval,
                                 kCacheVersion};
   h.update(nums, sizeof(nums));
   return cfg.cacheDir + "/exp_" + workload + "_" +
@@ -229,8 +232,17 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   tel.workload = w.name;
   tel.level = cfg.level == opt::OptLevel::O0 ? "O0" : "O1";
 
+  // Resolve the auto interval sentinel against the environment here so the
+  // CARE_CKPT_INTERVAL value in effect lands in the cache key; the
+  // golden-length-derived default stays a sentinel (it is not known until
+  // the campaign profiles).
+  const std::uint64_t ckptInterval =
+      cfg.ckptInterval == CampaignConfig::kCkptAuto
+          ? ckptIntervalFromEnv(CampaignConfig::kCkptAuto)
+          : cfg.ckptInterval;
+
   std::filesystem::create_directories(cfg.cacheDir);
-  const std::string path = cachePath(w.name, cfg);
+  const std::string path = cachePath(w.name, cfg, ckptInterval);
   const auto t0 = std::chrono::steady_clock::now();
   if (auto cached = readResult(path)) {
     tel.fromCache = true;
@@ -247,6 +259,7 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   ccfg.seed = cfg.seed;
   ccfg.bitsToFlip = cfg.bits;
   ccfg.hangFactor = 4;
+  ccfg.checkpointEveryInstrs = ckptInterval;
   if (cfg.patchBaseFirst)
     ccfg.patchTarget = core::Safeguard::PatchTarget::BaseFirst;
   Campaign campaign(built.image.get(), ccfg);

@@ -34,6 +34,12 @@ struct ExperimentConfig {
   /// disk-cache key (a serial-written cache serves parallel runs and vice
   /// versa).
   int threads = 0;
+  /// Replay-cache segment length (DESIGN.md §4c): kCkptAuto resolves to
+  /// CARE_CKPT_INTERVAL, then to goldenInstrs/64; 0 disables. Records are
+  /// bit-identical for every value, but unlike `threads` the *resolved*
+  /// interval IS part of the disk-cache key, so equivalence suites can hold
+  /// checkpointed and from-scratch results side by side in one cache dir.
+  std::uint64_t ckptInterval = CampaignConfig::kCkptAuto;
 };
 
 /// One injection's record: the plain outcome plus (for SIGSEGV injections

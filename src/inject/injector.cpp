@@ -1,7 +1,9 @@
 #include "inject/injector.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <tuple>
 
 #include "support/bitutil.hpp"
 #include "support/error.hpp"
@@ -54,7 +56,18 @@ DestInfo destOf(const MInst& in) {
   }
 }
 
+/// Upper bound on replay-cache segments: a tiny CARE_CKPT_INTERVAL on a
+/// multi-million-instruction run must not balloon into thousands of page-map
+/// copies. The interval is widened until the segment count fits.
+constexpr std::uint64_t kMaxCheckpoints = 4096;
+
 } // namespace
+
+std::uint64_t ckptIntervalFromEnv(std::uint64_t fallback) {
+  const char* s = std::getenv("CARE_CKPT_INTERVAL");
+  if (!s || !*s) return fallback;
+  return std::strtoull(s, nullptr, 10);
+}
 
 bool Campaign::injectable(const MInst& in) { return destOf(in).has; }
 
@@ -125,7 +138,73 @@ bool Campaign::profile() {
       }
     }
   }
-  return totalWeight_ > 0;
+  if (totalWeight_ == 0) return false;
+
+  // Replay cache (DESIGN.md §4c): resolve the segment length, then capture
+  // the golden run's boundary states in a second pass (the auto interval
+  // and the site table both depend on this first pass).
+  checkpoints_.clear();
+  std::uint64_t interval = cfg_.checkpointEveryInstrs;
+  if (interval == CampaignConfig::kCkptAuto)
+    interval = ckptIntervalFromEnv(goldenInstrs_ / 64);
+  if (interval > 0 && interval < goldenInstrs_ / kMaxCheckpoints + 1)
+    interval = goldenInstrs_ / kMaxCheckpoints + 1;
+  ckptInterval_ = interval;
+  if (ckptInterval_ > 0) buildCheckpoints();
+  return true;
+}
+
+void Campaign::buildCheckpoints() {
+  // Re-run the golden execution, pausing on every segment boundary. The
+  // budget check fires *before* an instruction executes, so stopping on an
+  // exact instrCount leaves the executor at a clean instruction boundary;
+  // re-running with a raised budget resumes in place.
+  Executor ex(image_, baseMem_);
+  ex.enableProfiling();
+  for (std::uint64_t next = ckptInterval_; next < goldenInstrs_;
+       next += ckptInterval_) {
+    ex.setBudget(next);
+    const vm::RunResult r = vm::runToCompletion(ex, cfg_.entry);
+    if (r.status != vm::RunStatus::BudgetExceeded) break; // finished early
+    TrialCheckpoint ck;
+    ck.rp = ex.resumePoint();
+    ck.siteCounts.reserve(sites_.size());
+    for (const CodeLoc& loc : sites_)
+      ck.siteCounts.push_back(ex.profileCount(loc));
+    checkpoints_.push_back(std::move(ck));
+  }
+}
+
+std::ptrdiff_t Campaign::siteIndexOf(const CodeLoc& loc) const {
+  // sites_ is built in ascending (module, func, instr) order.
+  const auto key = std::make_tuple(loc.module, loc.func, loc.instr);
+  const auto it = std::lower_bound(
+      sites_.begin(), sites_.end(), key, [](const CodeLoc& s, const auto& k) {
+        return std::make_tuple(s.module, s.func, s.instr) < k;
+      });
+  if (it == sites_.end() ||
+      std::make_tuple(it->module, it->func, it->instr) != key)
+    return -1;
+  return it - sites_.begin();
+}
+
+const Campaign::TrialCheckpoint*
+Campaign::replaySource(const InjectionPoint& pt) const {
+  if (checkpoints_.empty()) return nullptr;
+  const std::ptrdiff_t si = siteIndexOf(pt.loc);
+  if (si < 0) return nullptr;
+  // Per-site counts are monotone over checkpoints: find the first boundary
+  // at which pt.loc has already executed pt.nth times; the one before it is
+  // the last boundary still strictly *before* the fault site.
+  std::size_t lo = 0, hi = checkpoints_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (checkpoints_[mid].siteCounts[static_cast<std::size_t>(si)] < pt.nth)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo > 0 ? &checkpoints_[lo - 1] : nullptr;
 }
 
 InjectionPoint Campaign::sample(Rng& rng) const {
@@ -157,6 +236,17 @@ InjectionResult Campaign::runInjection(
     const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts) const {
   InjectionResult res;
   Executor ex(image_, baseMem_);
+  // Replay cache: fast-forward to the last checkpoint before the fault site
+  // and arm with the *remaining* executions. instrCount and output are
+  // restored absolute, so the hang budget, manifestation latency and SDC
+  // comparison below are oblivious to the skipped prefix.
+  std::uint64_t armNth = pt.nth;
+  if (const TrialCheckpoint* ck = replaySource(pt)) {
+    ex.restoreCheckpoint(ck->rp);
+    armNth = pt.nth -
+             ck->siteCounts[static_cast<std::size_t>(siteIndexOf(pt.loc))];
+    res.replaySavedInstrs = ck->rp.instrCount;
+  }
   ex.setBudget(goldenInstrs_ * cfg_.hangFactor + 1'000'000);
   std::unique_ptr<core::Safeguard> safeguard;
   if (careArtifacts) {
@@ -169,7 +259,7 @@ InjectionResult Campaign::runInjection(
 
   std::uint64_t injAt = 0;
   bool fired = false;
-  ex.armInjection(pt.loc, pt.nth, [&](Executor& e) {
+  ex.armInjection(pt.loc, armNth, [&](Executor& e) {
     injAt = e.instrCount();
     fired = true;
     corruptDestination(e, pt.loc, pt.bits);

@@ -37,7 +37,13 @@ struct InjectionResult {
   Outcome outcome = Outcome::Benign;
   vm::TrapKind signal = vm::TrapKind::SegFault; // valid for SoftFailure
   std::uint64_t latencyInstrs = 0; // injection -> trap (SoftFailure only)
-  std::uint64_t instrsExecuted = 0; // dynamic instructions in this run
+  std::uint64_t instrsExecuted = 0; // dynamic instructions in this run,
+                                    // counted from instruction 0 even when
+                                    // the replay cache skipped the prefix
+  /// Golden-prefix instructions the replay cache fast-forwarded over (0
+  /// when checkpointing is off or no checkpoint precedes the fault site).
+  /// Telemetry only: never serialized, absent from cache hits.
+  std::uint64_t replaySavedInstrs = 0;
   bool injected = false;           // the point was actually reached
   // CARE-specific:
   bool survived = false;              // run completed (with CARE attached)
@@ -59,7 +65,18 @@ struct CampaignConfig {
   /// Safeguard patch heuristic (ablation; paper default: index first).
   core::Safeguard::PatchTarget patchTarget =
       core::Safeguard::PatchTarget::IndexFirst;
+  /// Replay-cache segment length in dynamic instructions (DESIGN.md §4c).
+  /// kCkptAuto resolves to CARE_CKPT_INTERVAL when that is set, otherwise
+  /// to goldenInstrs/64; 0 disables the cache (every trial re-executes its
+  /// golden prefix from instruction 0). Any value yields bit-identical
+  /// campaign records — this is a performance knob.
+  static constexpr std::uint64_t kCkptAuto = ~0ull;
+  std::uint64_t checkpointEveryInstrs = kCkptAuto;
 };
+
+/// CARE_CKPT_INTERVAL parsed as a decimal instruction count, or `fallback`
+/// when the variable is unset or empty.
+std::uint64_t ckptIntervalFromEnv(std::uint64_t fallback);
 
 /// Drives golden profiling, injection sampling, and injected runs over one
 /// loaded Image.
@@ -75,6 +92,25 @@ public:
   const std::vector<std::uint64_t>& goldenOutput() const {
     return goldenOutput_;
   }
+
+  /// One golden-run segment boundary of the replay cache: the full machine
+  /// state at that boundary plus, for every injectable site, how many
+  /// executions had completed by then (parallel to the sampling table).
+  struct TrialCheckpoint {
+    vm::Executor::ResumePoint rp;
+    std::vector<std::uint64_t> siteCounts;
+  };
+
+  /// Resolved replay-cache segment length (0 = off) and the captured
+  /// boundaries, valid after profile(). Read-only during trials, so safe
+  /// to consult from campaign worker threads.
+  std::uint64_t checkpointInterval() const { return ckptInterval_; }
+  const std::vector<TrialCheckpoint>& checkpoints() const {
+    return checkpoints_;
+  }
+  /// Index of `loc` in the sampling table, or -1 when it is not an
+  /// injectable site with a nonzero profile count.
+  std::ptrdiff_t siteIndexOf(const vm::CodeLoc& loc) const;
 
   /// Sample an injection point: execution-weighted static instruction with
   /// a destination operand, uniform dynamic occurrence, random bit(s).
@@ -97,6 +133,13 @@ public:
                                  const std::vector<unsigned>& bits);
 
 private:
+  void buildCheckpoints();
+  /// The checkpoint runInjection(pt) should fast-forward through: the last
+  /// one at which fewer than pt.nth executions of pt.loc had completed.
+  /// Null when checkpointing is off, the site is unknown, or the fault
+  /// site lies in the first segment.
+  const TrialCheckpoint* replaySource(const InjectionPoint& pt) const;
+
   const vm::Image* image_;
   CampaignConfig cfg_;
   /// The post-initMemory address space, captured once; every profiling /
@@ -110,6 +153,10 @@ private:
   std::vector<std::uint64_t> counts_;
   std::vector<std::uint64_t> cumulative_;
   std::uint64_t totalWeight_ = 0;
+  // Replay cache: golden-run segment boundaries every ckptInterval_
+  // dynamic instructions (DESIGN.md §4c).
+  std::uint64_t ckptInterval_ = 0;
+  std::vector<TrialCheckpoint> checkpoints_;
 };
 
 } // namespace care::inject

@@ -122,6 +122,30 @@ void Executor::restore(const Checkpoint& cp) {
   jumpTo({cp.module, cp.func, cp.instr});
 }
 
+Executor::ResumePoint Executor::resumePoint() {
+  ResumePoint rp;
+  rp.st = st_;
+  rp.mem = MemorySnapshot::capture(mem_);
+  rp.module = curModule_;
+  rp.func = curFunc_;
+  rp.instr = curInstr_;
+  rp.started = started_;
+  rp.instrCount = instrCount_;
+  rp.output = output_;
+  return rp;
+}
+
+void Executor::restoreCheckpoint(const ResumePoint& rp) {
+  st_ = rp.st;
+  mem_ = rp.mem.fork();
+  started_ = rp.started;
+  instrCount_ = rp.instrCount;
+  output_ = rp.output;
+  // A never-started point restores to a fresh executor; run() then performs
+  // its usual entry setup.
+  if (rp.started) jumpTo({rp.module, rp.func, rp.instr});
+}
+
 bool Executor::jumpTo(const CodeLoc& loc) {
   if (!loc.valid()) return false;
   curModule_ = loc.module;

@@ -103,6 +103,32 @@ public:
   Checkpoint checkpoint() const;
   void restore(const Checkpoint& cp);
 
+  // --- replay cache (campaign fast-forward, DESIGN.md §4c) ----------------
+  /// Everything checkpoint() captures, but with the address space held as a
+  /// shareable MemorySnapshot: many trial Executors may restoreCheckpoint()
+  /// the same ResumePoint concurrently, each CoW-forking the pages.
+  struct ResumePoint {
+    MachineState st;
+    MemorySnapshot mem;
+    std::int32_t module = 0, func = 0, instr = 0;
+    bool started = false;
+    std::uint64_t instrCount = 0;
+    std::vector<std::uint64_t> output;
+  };
+  /// Capture the current position as a ResumePoint. Only meaningful between
+  /// run() calls (e.g. stopped on an exact budget boundary). The snapshot
+  /// shares pages CoW with this executor; continuing the run un-shares only
+  /// the pages it then touches.
+  ResumePoint resumePoint();
+  /// Restore `rp` into this executor: CoW-fork the captured address space
+  /// and reseat registers, frame position, instruction count and the output
+  /// buffer, so every downstream observable (budget clock, manifestation
+  /// latency, SDC output comparison) stays absolute — exactly as if the
+  /// whole golden prefix had been re-executed. The next run() resumes at
+  /// the captured position on whichever interpreter loop is selected.
+  /// Thread-safe with respect to concurrent restores of the same point.
+  void restoreCheckpoint(const ResumePoint& rp);
+
   // --- run ----------------------------------------------------------------
   /// Execute from `entry`. A Barrier instruction (MiniC `mpi_barrier()`)
   /// yields with RunStatus::Yielded; calling run() again resumes right

@@ -36,6 +36,7 @@ struct Args {
   int injections = 200;
   std::uint64_t seed = 2026;
   int threads = 0; // 0 = hardware concurrency
+  std::uint64_t ckptInterval = inject::CampaignConfig::kCkptAuto;
   bool withCare = true;
   bool inductionRecovery = false;
 };
@@ -50,6 +51,10 @@ void usage() {
                "  -s <seed>          campaign seed\n"
                "  -j <threads>       campaign workers (0 = all cores; any\n"
                "                     value yields identical results)\n"
+               "  --ckpt-interval <n> replay-cache segment length in instrs\n"
+               "                     (0 = off; default CARE_CKPT_INTERVAL or\n"
+               "                     golden/64; any value yields identical\n"
+               "                     results)\n"
                "  --interp=fast|ref  interpreter loop (default fast; ref is\n"
                "                     the big-switch reference, bit-identical)\n"
                "  --no-care          inject without Safeguard attached\n"
@@ -143,6 +148,7 @@ int cmdInject(const Args& a) {
   inject::CampaignConfig ccfg;
   ccfg.seed = a.seed;
   ccfg.entry = a.entry;
+  ccfg.checkpointEveryInstrs = a.ckptInterval;
   inject::Campaign campaign(&image, ccfg);
   if (!campaign.profile()) {
     std::fprintf(stderr, "program failed its golden run\n");
@@ -150,6 +156,10 @@ int cmdInject(const Args& a) {
   }
   std::printf("golden run: %llu instructions\n",
               static_cast<unsigned long long>(campaign.goldenInstrs()));
+  if (campaign.checkpointInterval() > 0)
+    std::printf("replay cache: %zu checkpoints every %llu instructions\n",
+                campaign.checkpoints().size(),
+                static_cast<unsigned long long>(campaign.checkpointInterval()));
 
   // Pre-derive the points in serial order, then shard the trials over the
   // worker pool; counts are identical for every -j value.
@@ -169,6 +179,7 @@ int cmdInject(const Args& a) {
         return rec;
       },
       &tel);
+  tel.ckptCount = campaign.checkpoints().size();
   inject::publishTelemetry(tel);
 
   int benign = 0, sdc = 0, hang = 0, segv = 0, otherSig = 0, recovered = 0;
@@ -205,6 +216,11 @@ int cmdInject(const Args& a) {
               "threads=%d, utilization %.0f%%\n",
               tel.wallSec, tel.trialsPerSec, tel.mips, tel.threads,
               100.0 * tel.utilization);
+  if (tel.replaySavedInstrs > 0)
+    std::printf("replay     : %llu prefix instrs skipped "
+                "(%.1f effective MIPS)\n",
+                static_cast<unsigned long long>(tel.replaySavedInstrs),
+                tel.effectiveMips);
   return 0;
 }
 
@@ -229,6 +245,8 @@ int main(int argc, char** argv) {
     else if (s == "-n") a.injections = std::atoi(next().c_str());
     else if (s == "-s") a.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (s == "-j") a.threads = std::atoi(next().c_str());
+    else if (s == "--ckpt-interval")
+      a.ckptInterval = std::strtoull(next().c_str(), nullptr, 10);
     else if (s == "--interp=ref") vm::setDefaultInterp(vm::InterpKind::Ref);
     else if (s == "--interp=fast") vm::setDefaultInterp(vm::InterpKind::Fast);
     else if (s == "--no-care") a.withCare = false;
