@@ -153,8 +153,19 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
   if (depth > kMaxDepth) { error = "kernel recursion too deep"; return false; }
   if (f.isDeclaration()) { error = "kernel calls unresolved function"; return false; }
 
-  std::map<const Value*, RawValue> env;
-  for (unsigned i = 0; i < f.numArgs(); ++i) env[f.arg(i)] = args[i];
+  // Dense SSA environment. Kernels are tiny (Table 8: a handful of IR
+  // instructions), so a flat overwrite-on-redefine vector scanned newest
+  // first beats a node-allocating map on both define and lookup — kernel
+  // execution is the one phase Fig. 9 requires to be negligible. Size is
+  // bounded by the function's static value count, loops included.
+  std::vector<std::pair<const Value*, RawValue>> env;
+  env.reserve(f.numArgs() + 32);
+  for (unsigned i = 0; i < f.numArgs(); ++i) env.emplace_back(f.arg(i), args[i]);
+  auto define = [&](const Value* v, RawValue val) {
+    for (auto it = env.rbegin(); it != env.rend(); ++it)
+      if (it->first == v) { it->second = val; return; }
+    env.emplace_back(v, val);
+  };
 
   auto valueOf = [&](const Value* v, RawValue& out) -> bool {
     switch (v->kind()) {
@@ -172,10 +183,10 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       error = "kernel references a global";
       return false;
     default: {
-      auto it = env.find(v);
-      if (it == env.end()) { error = "kernel uses undefined value"; return false; }
-      out = it->second;
-      return true;
+      for (auto it = env.rbegin(); it != env.rend(); ++it)
+        if (it->first == v) { out = it->second; return true; }
+      error = "kernel uses undefined value";
+      return false;
     }
     }
   };
@@ -200,7 +211,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
         }
       }
       if (!found) { error = "phi without matching predecessor"; return false; }
-      env[in] = v;
+      define(in, v);
       ++idx;
       continue;
     }
@@ -210,7 +221,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       const std::uint64_t addr = nextLocal;
       nextLocal += (bytes + 15) & ~15ull;
       locals.emplace(addr, std::vector<std::uint8_t>(bytes, 0));
-      env[in] = addr;
+      define(in, addr);
       ++idx;
       continue;
     }
@@ -219,7 +230,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       if (!valueOf(in->operand(0), addr)) return false;
       RawValue v;
       if (!loadValue(addr, in->type(), v)) return false;
-      env[in] = v;
+      define(in, v);
       ++idx;
       continue;
     }
@@ -236,7 +247,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       if (!valueOf(in->operand(0), base)) return false;
       if (!valueOf(in->operand(1), index)) return false;
       const std::uint64_t scale = in->type()->pointee()->sizeBytes();
-      env[in] = base + index * scale;
+      define(in, base + index * scale);
       ++idx;
       continue;
     }
@@ -244,10 +255,10 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       RawValue a, b;
       if (!valueOf(in->operand(0), a) || !valueOf(in->operand(1), b))
         return false;
-      env[in] = cmpInt(in->pred(), static_cast<std::int64_t>(a),
-                       static_cast<std::int64_t>(b))
-                    ? 1
-                    : 0;
+      define(in, cmpInt(in->pred(), static_cast<std::int64_t>(a),
+                        static_cast<std::int64_t>(b))
+                     ? 1
+                     : 0);
       ++idx;
       continue;
     }
@@ -255,7 +266,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       RawValue a, b;
       if (!valueOf(in->operand(0), a) || !valueOf(in->operand(1), b))
         return false;
-      env[in] = cmpFP(in->pred(), bitsToF(a), bitsToF(b)) ? 1 : 0;
+      define(in, cmpFP(in->pred(), bitsToF(a), bitsToF(b)) ? 1 : 0);
       ++idx;
       continue;
     }
@@ -264,7 +275,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       if (!valueOf(in->operand(0), c) || !valueOf(in->operand(1), t) ||
           !valueOf(in->operand(2), fv))
         return false;
-      env[in] = c ? t : fv;
+      define(in, c ? t : fv);
       ++idx;
       continue;
     }
@@ -282,7 +293,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       } else {
         if (!call(*callee, cargs, r, depth + 1)) return false;
       }
-      if (!in->type()->isVoid()) env[in] = r;
+      if (!in->type()->isVoid()) define(in, r);
       ++idx;
       continue;
     }
@@ -328,7 +339,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
         default: error = "bad fp op"; return false;
         }
         if (t == Type::f32()) r = static_cast<double>(static_cast<float>(r));
-        env[in] = fToBits(r);
+        define(in, fToBits(r));
       } else {
         const std::int64_t a = static_cast<std::int64_t>(ra);
         const std::int64_t b = static_cast<std::int64_t>(rb);
@@ -354,7 +365,7 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
         }
         if (t == Type::i32())
           r = static_cast<std::int64_t>(static_cast<std::int32_t>(r));
-        env[in] = static_cast<RawValue>(r);
+        define(in, static_cast<RawValue>(r));
       }
       ++idx;
       continue;
@@ -365,29 +376,29 @@ bool Interp::call(const Function& f, const std::vector<RawValue>& args,
       switch (in->opcode()) {
       case Opcode::Sext:
       case Opcode::Zext:
-        env[in] = rv;
+        define(in, rv);
         break;
       case Opcode::Trunc:
-        env[in] = static_cast<RawValue>(static_cast<std::int64_t>(
-            static_cast<std::int32_t>(rv)));
+        define(in, static_cast<RawValue>(static_cast<std::int64_t>(
+                       static_cast<std::int32_t>(rv))));
         break;
       case Opcode::SIToFP: {
         double r = static_cast<double>(static_cast<std::int64_t>(rv));
         if (in->type() == Type::f32())
           r = static_cast<double>(static_cast<float>(r));
-        env[in] = fToBits(r);
+        define(in, fToBits(r));
         break;
       }
       case Opcode::FPToSI:
-        env[in] = static_cast<RawValue>(
-            static_cast<std::int64_t>(bitsToF(rv)));
+        define(in, static_cast<RawValue>(
+                       static_cast<std::int64_t>(bitsToF(rv))));
         break;
       case Opcode::FPExt:
-        env[in] = rv;
+        define(in, rv);
         break;
       case Opcode::FPTrunc:
-        env[in] =
-            fToBits(static_cast<double>(static_cast<float>(bitsToF(rv))));
+        define(in,
+               fToBits(static_cast<double>(static_cast<float>(bitsToF(rv)))));
         break;
       default:
         error = "bad cast";

@@ -4,6 +4,7 @@
 
 #include "care/kernel_interp.hpp"
 #include "ir/serialize.hpp"
+#include "support/trace.hpp"
 
 namespace care::core {
 
@@ -26,6 +27,27 @@ double usSince(Clock::time_point t0, Clock::time_point t1) {
 
 } // namespace
 
+const char* failCodeName(FailCode c) {
+  switch (c) {
+  case FailCode::PcNotInModule: return "pc not in any module";
+  case FailCode::ModuleNotCompiled: return "module not CARE-compiled";
+  case FailCode::NoDebugLoc: return "no debug location";
+  case FailCode::BadDebugFileId: return "bad debug file id";
+  case FailCode::ArtifactLoadFailed: return "artifact load failed";
+  case FailCode::NoKernelForKey: return "no recovery kernel for key";
+  case FailCode::KernelSymbolMissing: return "kernel symbol missing";
+  case FailCode::NoMemoryOperand:
+    return "faulting instruction has no memory operand";
+  case FailCode::GlobalParamMissing: return "global parameter not found";
+  case FailCode::ParamUnavailable: return "parameter location unavailable";
+  case FailCode::KernelFailed: return "kernel failed";
+  case FailCode::SdcGuardTripped:
+    return "recomputed address equals faulting address";
+  case FailCode::NoPatchableOperand: return "no patchable address operand";
+  }
+  return "?";
+}
+
 void Safeguard::addModule(std::int32_t moduleIdx, ModuleArtifacts artifacts) {
   modules_[moduleIdx] = std::move(artifacts);
 }
@@ -36,17 +58,68 @@ void Safeguard::attach(vm::Executor& ex) {
   });
 }
 
-TrapAction Safeguard::fail(const std::string& reason,
-                           Clock::time_point t0, const Trap& trap) {
-  RecoveryRecord rec;
+void Safeguard::pushRecord(RecoveryRecord&& rec) {
+  if (stats_.records.size() >= maxRecords_) {
+    ++stats_.droppedRecords;
+    return;
+  }
+  stats_.records.push_back(std::move(rec));
+}
+
+TrapAction Safeguard::fail(FailCode code, std::string reason,
+                           RecoveryRecord&& rec, Clock::time_point t0,
+                           const Trap& trap) {
   rec.recovered = false;
-  rec.failReason = reason;
-  rec.totalUs = usSince(t0, Clock::now());
+  rec.failCode = code;
+  rec.failReason = std::move(reason);
   rec.pc = trap.pc;
   rec.faultAddr = trap.addr;
-  stats_.failures[reason]++;
-  stats_.records.push_back(std::move(rec));
+  const auto tEnd = Clock::now();
+  rec.totalUs = usSince(t0, tEnd);
+  trace::span("safeguard.onTrap", "safeguard", t0, tEnd);
+  trace::instant(failCodeName(code), "safeguard.fail");
+  stats_.failures[failCodeName(code)]++;
+  pushRecord(std::move(rec));
   return TrapAction::Propagate;
+}
+
+bool patchAddressOperand(vm::MachineState& st, const MemRef& mem,
+                         std::uint64_t gaddr, std::uint64_t newAddr,
+                         Safeguard::PatchTarget target) {
+  const std::uint64_t baseVal =
+      mem.base != backend::kNoReg ? st.g[mem.base] : 0;
+  const std::uint64_t indexVal =
+      mem.index != backend::kNoReg ? st.g[mem.index] : 0;
+  const std::int64_t disp = mem.disp;
+
+  bool patched = false;
+  auto patchIndex = [&] {
+    // scale == 0 would divide by zero below; treat the operand as
+    // index-unpatchable and let the base fallback handle it.
+    if (patched || mem.index == backend::kNoReg || mem.scale == 0) return;
+    const std::int64_t numer = static_cast<std::int64_t>(
+        newAddr - gaddr - baseVal - static_cast<std::uint64_t>(disp));
+    if (numer % mem.scale == 0) {
+      st.g[mem.index] = static_cast<std::uint64_t>(numer / mem.scale);
+      patched = true;
+    }
+  };
+  auto patchBase = [&] {
+    if (patched || mem.base == backend::kNoReg ||
+        mem.base == backend::kFP || mem.base == backend::kSP)
+      return;
+    st.g[mem.base] = newAddr - gaddr - indexVal * mem.scale -
+                     static_cast<std::uint64_t>(disp);
+    patched = true;
+  };
+  if (target == Safeguard::PatchTarget::IndexFirst) {
+    patchIndex();
+    patchBase();
+  } else {
+    patchBase();
+    patchIndex();
+  }
+  return patched;
 }
 
 TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
@@ -55,30 +128,51 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   if (trap.kind != TrapKind::SegFault) return TrapAction::Propagate;
   stats_.activations++;
   const auto t0 = Clock::now();
+  RecoveryRecord rec;
+  rec.pc = trap.pc;
+  rec.faultAddr = trap.addr;
 
+  // --- phase 1: keying — PC -> module -> (file,line,col) -> MD5 key ------
   const vm::Image& image = *ex.image();
   const vm::CodeLoc loc = image.locate(trap.pc);
-  if (!loc.valid()) return fail("pc not in any module", t0, trap);
+  if (!loc.valid())
+    return fail(FailCode::PcNotInModule, "pc not in any module",
+                std::move(rec), t0, trap);
 
   // dladdr step: per-module artifacts (app keyed by absolute PC range,
   // libraries by their own base — both implicit in the module lookup).
   auto ait = modules_.find(loc.module);
-  if (ait == modules_.end()) return fail("module not CARE-compiled", t0, trap);
+  if (ait == modules_.end())
+    return fail(FailCode::ModuleNotCompiled, "module not CARE-compiled",
+                std::move(rec), t0, trap);
 
-  // PC -> (file,line,col) -> MD5 key via the line table.
   const MFunction& fn = image.function(loc);
+  // A corrupt or hand-built image may carry a line table shorter than the
+  // function body; treat the missing entry as "no debug location" instead
+  // of indexing out of range.
+  if (loc.instr < 0 ||
+      static_cast<std::size_t>(loc.instr) >= fn.lineTable.size())
+    return fail(FailCode::NoDebugLoc, "no debug location", std::move(rec),
+                t0, trap);
   const ir::DebugLoc dl =
       fn.lineTable[static_cast<std::size_t>(loc.instr)];
-  if (!dl.valid()) return fail("no debug location", t0, trap);
+  if (!dl.valid())
+    return fail(FailCode::NoDebugLoc, "no debug location", std::move(rec),
+                t0, trap);
   const auto& files = image.module(static_cast<std::size_t>(loc.module))
                           .mod->files;
   if (dl.file == 0 || dl.file > files.size())
-    return fail("bad debug file id", t0, trap);
+    return fail(FailCode::BadDebugFileId, "bad debug file id",
+                std::move(rec), t0, trap);
   const std::uint64_t key =
       recoveryKey(files[dl.file - 1], dl.line, dl.col);
+  const auto tKey = Clock::now();
+  rec.keyUs = usSince(t0, tKey);
+  trace::span("safeguard.key", "safeguard", t0, tKey);
 
-  // Lazy-load the recovery table + library (paper: protobuf decode + dlopen
-  // happen inside the handler; >98% of recovery time is this preparation).
+  // --- phase 2: lazy artifact load + kernel lookup ------------------------
+  // (paper: protobuf decode + dlopen happen inside the handler; >98% of
+  // recovery time is this preparation).
   LoadedArtifacts* arts;
   auto lit = loaded_.find(loc.module);
   if (lit != loaded_.end()) {
@@ -89,7 +183,8 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       fresh.table = RecoveryTable::readFile(ait->second.tablePath);
       fresh.lib = ir::readModuleFile(ait->second.libPath);
     } catch (const Error&) {
-      return fail("artifact load failed", t0, trap);
+      return fail(FailCode::ArtifactLoadFailed, "artifact load failed",
+                  std::move(rec), t0, trap);
     }
     arts = &loaded_.emplace(loc.module, std::move(fresh)).first->second;
   }
@@ -100,19 +195,27 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   const RecoveryEntry* entry = arts->table.find(key);
   if (!entry) {
     release();
-    return fail("no recovery kernel for key", t0, trap);
+    return fail(FailCode::NoKernelForKey, "no recovery kernel for key",
+                std::move(rec), t0, trap);
   }
   const ir::Function* kernel = arts->lib->findFunction(entry->symbol);
   if (!kernel) {
     release();
-    return fail("kernel symbol missing", t0, trap);
+    return fail(FailCode::KernelSymbolMissing, "kernel symbol missing",
+                std::move(rec), t0, trap);
   }
+  const auto tLoad = Clock::now();
+  rec.loadUs = usSince(tKey, tLoad);
+  trace::span("safeguard.load", "safeguard", tKey, tLoad);
 
+  // --- phase 3: operand disassembly + parameter fetch ---------------------
   // Disassemble the faulting instruction; it must have a memory operand.
   const MInst& inst = image.instruction(loc);
   if (!inst.accessesMemory()) {
     release();
-    return fail("faulting instruction has no memory operand", t0, trap);
+    return fail(FailCode::NoMemoryOperand,
+                "faulting instruction has no memory operand", std::move(rec),
+                t0, trap);
   }
   const MemRef& mem = inst.mem;
   const auto& lm = image.module(static_cast<std::size_t>(loc.module));
@@ -170,7 +273,8 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       }
       if (!found) {
         release();
-        return fail("global parameter not found", t0, trap);
+        return fail(FailCode::GlobalParamMissing,
+                    "global parameter not found", std::move(rec), t0, trap);
       }
       continue;
     }
@@ -198,21 +302,26 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       // release() frees the table entry `p` lives in.)
       std::string reason = "parameter location unavailable: " + p.name;
       release();
-      return fail(reason, t0, trap);
+      return fail(FailCode::ParamUnavailable, std::move(reason),
+                  std::move(rec), t0, trap);
     }
     if (haveAlt && altValue != v)
       altArgs.push_back({args.size(), altValue});
     args.push_back(v);
   }
+  const auto tParam = Clock::now();
+  rec.paramUs = usSince(tLoad, tParam);
+  trace::span("safeguard.params", "safeguard", tLoad, tParam);
 
-  // Execute the recovery kernel (timed separately: Fig. 9 shows its share
-  // of recovery time is negligible).
-  const auto tK = Clock::now();
+  // --- phase 4: kernel execution (timed separately: Fig. 9 shows its share
+  // of recovery time is negligible) incl. the SDC guard and Fig. 11 retries.
   KernelResult kres = runRecoveryKernel(*kernel, args, ex.memory());
-  double kernelUs = usSince(tK, Clock::now());
   if (!kres.ok) {
+    rec.kernelUs = usSince(tParam, Clock::now());
     release();
-    return fail(std::string("kernel failed: ") + kres.error, t0, trap);
+    return fail(FailCode::KernelFailed,
+                std::string("kernel failed: ") + kres.error, std::move(rec),
+                t0, trap);
   }
   std::uint64_t newAddr = kres.value;
   bool usedIvAlt = false;
@@ -227,10 +336,8 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
     for (const AltArg& alt : altArgs) {
       std::vector<RawValue> retryArgs = args;
       retryArgs[alt.index] = alt.value;
-      const auto tK2 = Clock::now();
       const KernelResult retry =
           runRecoveryKernel(*kernel, retryArgs, ex.memory());
-      kernelUs += usSince(tK2, Clock::now());
       if (retry.ok && retry.value != trap.addr) {
         newAddr = retry.value;
         usedIvAlt = true;
@@ -239,64 +346,45 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       }
     }
     if (!usedIvAlt) {
+      rec.kernelUs = usSince(tParam, Clock::now());
       release();
-      return fail("recomputed address equals faulting address", t0, trap);
+      return fail(FailCode::SdcGuardTripped,
+                  "recomputed address equals faulting address",
+                  std::move(rec), t0, trap);
     }
   }
+  const auto tKern = Clock::now();
+  rec.kernelUs = usSince(tParam, tKern);
+  trace::span("safeguard.kernel", "safeguard", tParam, tKern);
 
-  // Patch the operand: prefer the index register (paper's default), fall
-  // back to the base register. Never patch the frame/stack pointers.
+  // --- phase 5: patch the operand -----------------------------------------
+  // Prefer the index register (paper's default), fall back to the base
+  // register. Never patch the frame/stack pointers.
   const std::uint64_t gaddr =
       mem.globalIdx >= 0
           ? lm.globalAddr[static_cast<std::size_t>(mem.globalIdx)]
           : 0;
-  const std::uint64_t baseVal =
-      mem.base != backend::kNoReg ? st.g[mem.base] : 0;
-  const std::uint64_t indexVal =
-      mem.index != backend::kNoReg ? st.g[mem.index] : 0;
-  const std::int64_t disp = mem.disp;
-
-  bool patched = false;
-  auto patchIndex = [&] {
-    if (patched || mem.index == backend::kNoReg) return;
-    const std::int64_t numer = static_cast<std::int64_t>(
-        newAddr - gaddr - baseVal - static_cast<std::uint64_t>(disp));
-    if (numer % mem.scale == 0) {
-      st.g[mem.index] = static_cast<std::uint64_t>(numer / mem.scale);
-      patched = true;
-    }
-  };
-  auto patchBase = [&] {
-    if (patched || mem.base == backend::kNoReg ||
-        mem.base == backend::kFP || mem.base == backend::kSP)
-      return;
-    st.g[mem.base] = newAddr - gaddr - indexVal * mem.scale -
-                     static_cast<std::uint64_t>(disp);
-    patched = true;
-  };
-  if (patchTarget_ == PatchTarget::IndexFirst) {
-    patchIndex();
-    patchBase();
-  } else {
-    patchBase();
-    patchIndex();
-  }
+  const bool patched =
+      patchAddressOperand(st, mem, gaddr, newAddr, patchTarget_);
+  const auto tPatch = Clock::now();
+  rec.patchUs = usSince(tKern, tPatch);
+  trace::span("safeguard.patch", "safeguard", tKern, tPatch);
   if (!patched) {
     release();
-    return fail("no patchable address operand", t0, trap);
+    return fail(FailCode::NoPatchableOperand, "no patchable address operand",
+                std::move(rec), t0, trap);
   }
 
-  RecoveryRecord rec;
   rec.recovered = true;
   rec.usedIvAlt = usedIvAlt;
-  rec.kernelUs = kernelUs;
-  rec.pc = trap.pc;
-  rec.faultAddr = trap.addr;
   rec.patchedAddr = newAddr;
   release();
-  rec.totalUs = usSince(t0, Clock::now());
+  const auto tEnd = Clock::now();
+  rec.totalUs = usSince(t0, tEnd);
+  trace::span("safeguard.onTrap", "safeguard", t0, tEnd);
   stats_.recovered++;
-  stats_.records.push_back(std::move(rec));
+  trace::counter("safeguard.recovered", static_cast<double>(stats_.recovered));
+  pushRecord(std::move(rec));
   return TrapAction::Retry;
 }
 

@@ -15,6 +15,11 @@
 //      (kernel inputs were themselves contaminated -> no SDC substitution),
 //   7. disassembles the faulting instruction's memory operand and patches
 //      the index register (base register as fallback), then resumes.
+//
+// Each activation is timed at phase granularity (keying / artifact load /
+// parameter fetch / kernel execution / patch) for the Fig. 9 breakdown,
+// and the phases are mirrored as trace spans (support/trace.hpp) when
+// tracing is enabled.
 #pragma once
 
 #include <chrono>
@@ -35,12 +40,46 @@ struct ModuleArtifacts {
   std::string libPath;
 };
 
+/// Stable reason codes for Safeguard failures. SafeguardStats::failures is
+/// keyed by failCodeName(code) — a closed set — so a long campaign cannot
+/// grow an unbounded map out of parameter-specific reason strings; the
+/// detailed text (which may embed a parameter name) stays in the record.
+enum class FailCode : std::uint8_t {
+  PcNotInModule,
+  ModuleNotCompiled,
+  NoDebugLoc,
+  BadDebugFileId,
+  ArtifactLoadFailed,
+  NoKernelForKey,
+  KernelSymbolMissing,
+  NoMemoryOperand,
+  GlobalParamMissing,
+  ParamUnavailable,
+  KernelFailed,
+  SdcGuardTripped,
+  NoPatchableOperand,
+};
+
+/// Stable human-readable name for `c` (a string literal; also the
+/// SafeguardStats::failures map key).
+const char* failCodeName(FailCode c);
+
 /// One Safeguard activation (a single trap), for Fig. 9's timing breakdown.
+/// The five phase fields are cut on one boundary-timestamp timeline, so on
+/// a recovered record they tile the activation:
+///   keyUs + loadUs + paramUs + kernelUs + patchUs <= totalUs
+/// with the gap being only record construction and artifact release. On a
+/// failure record, phases the activation never reached stay 0.
 struct RecoveryRecord {
   bool recovered = false;
-  std::string failReason;        // empty when recovered
+  FailCode failCode = FailCode::PcNotInModule; // valid when !recovered
+  std::string failReason;        // empty when recovered; detailed text
   double totalUs = 0;            // wall time of the whole activation
-  double kernelUs = 0;           // time inside the recovery kernel
+  double keyUs = 0;              // PC -> module -> (file,line,col) -> key
+  double loadUs = 0;             // lazy table/library load + kernel lookup
+  double paramUs = 0;            // operand disassembly + parameter fetch
+  double kernelUs = 0;           // kernel execution incl. Fig. 11 retries
+  double patchUs = 0;            // operand patch
   bool usedIvAlt = false;        // Fig. 11 peer-recomputation used
   std::uint64_t pc = 0;
   std::uint64_t faultAddr = 0;
@@ -51,7 +90,8 @@ struct SafeguardStats {
   std::uint64_t activations = 0;
   std::uint64_t recovered = 0;
   std::uint64_t ivAltRecoveries = 0; // Fig. 11 extension successes
-  std::map<std::string, std::uint64_t> failures; // reason -> count
+  std::uint64_t droppedRecords = 0;  // activations past the maxRecords cap
+  std::map<std::string, std::uint64_t> failures; // failCodeName -> count
   std::vector<RecoveryRecord> records;
 };
 
@@ -71,6 +111,12 @@ public:
   enum class PatchTarget : std::uint8_t { IndexFirst, BaseFirst };
   void setPatchTarget(PatchTarget t) { patchTarget_ = t; }
 
+  /// Cap on stats().records. Counters (activations, failures, recovered)
+  /// keep counting past the cap; further per-activation records are
+  /// dropped and tallied in stats().droppedRecords, so a long-lived
+  /// Safeguard's memory stays bounded.
+  void setMaxRecords(std::size_t n) { maxRecords_ = n; }
+
   /// Install as `ex`'s trap hook. The Safeguard must outlive the executor's
   /// run.
   void attach(vm::Executor& ex);
@@ -84,15 +130,28 @@ private:
   };
 
   vm::TrapAction onTrap(vm::Executor& ex, const vm::Trap& trap);
-  vm::TrapAction fail(const std::string& reason,
+  vm::TrapAction fail(FailCode code, std::string reason, RecoveryRecord&& rec,
                       std::chrono::steady_clock::time_point t0,
                       const vm::Trap& trap);
+  void pushRecord(RecoveryRecord&& rec);
 
   std::map<std::int32_t, ModuleArtifacts> modules_;
   std::map<std::int32_t, LoadedArtifacts> loaded_;
   bool cacheArtifacts_ = false;
   PatchTarget patchTarget_ = PatchTarget::IndexFirst;
+  std::size_t maxRecords_ = 65536;
   SafeguardStats stats_;
 };
+
+/// Patch the memory operand `mem` (whose global component, if any, resolves
+/// to `gaddr`) in machine state `st` so that re-executing the instruction
+/// computes `newAddr`. Prefers the register order `target` asks for; an
+/// operand with `scale == 0` (only possible in a corrupt or hand-built
+/// MemRef — the backend always emits >= 1) is index-unpatchable and falls
+/// through to the base register. Never patches the frame/stack pointers.
+/// Returns true iff a register was written.
+bool patchAddressOperand(vm::MachineState& st, const backend::MemRef& mem,
+                         std::uint64_t gaddr, std::uint64_t newAddr,
+                         Safeguard::PatchTarget target);
 
 } // namespace care::core

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "inject/experiment.hpp"
+#include "support/trace.hpp"
 
 namespace care::inject {
 
@@ -90,7 +91,17 @@ std::string CampaignTelemetry::json() const {
             static_cast<unsigned long long>(ckptCount));
   jsonField(out, "replay_saved_instrs", "%llu,",
             static_cast<unsigned long long>(replaySavedInstrs));
-  jsonField(out, "effective_mips", "%.2f}", effectiveMips);
+  jsonField(out, "effective_mips", "%.2f,", effectiveMips);
+  jsonField(out, "recoveries", "%llu,",
+            static_cast<unsigned long long>(recoveries));
+  out += "\"recovery_phase_us\":{";
+  jsonField(out, "key", "%.3f,", recKeyUs);
+  jsonField(out, "artifact_load", "%.3f,", recLoadUs);
+  jsonField(out, "param_fetch", "%.3f,", recParamUs);
+  jsonField(out, "kernel", "%.3f,", recKernelUs);
+  jsonField(out, "patch", "%.3f,", recPatchUs);
+  jsonField(out, "total", "%.3f", recTotalUs);
+  out += "}}";
   return out;
 }
 
@@ -153,6 +164,7 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
   const int workers = resolveThreads(threads, trials);
   std::vector<InjectionRecord> records(
       static_cast<std::size_t>(trials < 0 ? 0 : trials));
+  trace::Span poolSpan("campaign.trials", "campaign");
   const Clock::time_point t0 = Clock::now();
   double busySec = 0;
 
@@ -222,6 +234,14 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
       if (rec.haveCare) {
         instrs += rec.withCare.instrsExecuted - rec.withCare.replaySavedInstrs;
         saved += rec.withCare.replaySavedInstrs;
+        // Fig. 9 phase aggregate over the CARE re-run's activations.
+        if (rec.withCare.careRecovered) ++telemetry->recoveries;
+        telemetry->recKeyUs += rec.withCare.keyUsTotal;
+        telemetry->recLoadUs += rec.withCare.loadUsTotal;
+        telemetry->recParamUs += rec.withCare.paramUsTotal;
+        telemetry->recKernelUs += rec.withCare.kernelUsTotal;
+        telemetry->recPatchUs += rec.withCare.patchUsTotal;
+        telemetry->recTotalUs += rec.withCare.recoveryUsTotal;
       }
     }
     telemetry->simInstrs = instrs;
@@ -255,9 +275,13 @@ std::vector<InjectionRecord> runCampaign(
   const TrialFn trial = [&](int i, Rng&) {
     InjectionRecord rec;
     rec.point = points[static_cast<std::size_t>(i)];
-    rec.plain = campaign.runInjection(rec.point);
+    {
+      trace::Span plainSpan("trial.plain_run", "campaign");
+      rec.plain = campaign.runInjection(rec.point);
+    }
     if (careArtifacts && rec.plain.outcome == Outcome::SoftFailure &&
         rec.plain.signal == vm::TrapKind::SegFault) {
+      trace::Span careSpan("trial.care_rerun", "campaign");
       rec.haveCare = true;
       rec.withCare = campaign.runInjection(rec.point, careArtifacts);
       careReruns.fetch_add(1, std::memory_order_relaxed);

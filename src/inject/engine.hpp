@@ -55,6 +55,17 @@ struct CampaignTelemetry {
                                        // cache fast-forwarded over
   double effectiveMips = 0;    // (simInstrs + replaySavedInstrs) / 1e6 /
                                // wallSec — as-if throughput incl. replay
+  // Fig. 9 recovery-phase aggregate (DESIGN.md §4d): wall-time sums over
+  // every Safeguard activation in the campaign's CARE re-runs, emitted as
+  // the "recovery_phase_us" object in json(). All zero when no trial was
+  // re-run with CARE.
+  std::uint64_t recoveries = 0; // trials whose CARE re-run recovered
+  double recKeyUs = 0;          // PC -> key mapping
+  double recLoadUs = 0;         // lazy artifact load + kernel lookup
+  double recParamUs = 0;        // operand disassembly + parameter fetch
+  double recKernelUs = 0;       // kernel execution incl. Fig. 11 retries
+  double recPatchUs = 0;        // operand patch
+  double recTotalUs = 0;        // whole activations (>= sum of phases)
 
   /// One JSON object on one line (the CARE_TELEMETRY sink format).
   std::string json() const;

@@ -13,7 +13,7 @@ namespace care::inject {
 namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
-constexpr std::uint32_t kCacheVersion = 7; // v7: ckptInterval in the key
+constexpr std::uint32_t kCacheVersion = 8; // v8: recovery phase timings
 
 std::string cachePath(const std::string& workload,
                       const ExperimentConfig& cfg,
@@ -64,6 +64,10 @@ void serializeResult(const ExperimentResult& r, ByteWriter& w,
     if (withTimings) {
       w.f64(ir.recoveryUsTotal);
       w.f64(ir.kernelUsTotal);
+      w.f64(ir.keyUsTotal);
+      w.f64(ir.loadUsTotal);
+      w.f64(ir.paramUsTotal);
+      w.f64(ir.patchUsTotal);
     }
     w.u8(ir.outputMatchesGolden ? 1 : 0);
     w.str(ir.careFailReason);
@@ -110,6 +114,10 @@ std::optional<ExperimentResult> readResult(const std::string& path) {
       ir.ivAltRecoveries = r.u64();
       ir.recoveryUsTotal = r.f64();
       ir.kernelUsTotal = r.f64();
+      ir.keyUsTotal = r.f64();
+      ir.loadUsTotal = r.f64();
+      ir.paramUsTotal = r.f64();
+      ir.patchUsTotal = r.f64();
       ir.outputMatchesGolden = r.u8() != 0;
       ir.careFailReason = r.str();
     };
@@ -196,6 +204,30 @@ double ExperimentResult::meanKernelUs() const {
     }
   }
   return n ? sum / n : 0;
+}
+
+ExperimentResult::RecoveryPhases ExperimentResult::meanRecoveryPhases() const {
+  RecoveryPhases p;
+  int n = 0;
+  for (const auto& r : records) {
+    if (!r.haveCare || !r.withCare.careRecovered) continue;
+    p.keyUs += r.withCare.keyUsTotal;
+    p.loadUs += r.withCare.loadUsTotal;
+    p.paramUs += r.withCare.paramUsTotal;
+    p.kernelUs += r.withCare.kernelUsTotal;
+    p.patchUs += r.withCare.patchUsTotal;
+    p.totalUs += r.withCare.recoveryUsTotal;
+    ++n;
+  }
+  if (n > 0) {
+    p.keyUs /= n;
+    p.loadUs /= n;
+    p.paramUs /= n;
+    p.kernelUs /= n;
+    p.patchUs /= n;
+    p.totalUs /= n;
+  }
+  return p;
 }
 
 BuiltWorkload buildWorkload(const workloads::Workload& w,

@@ -68,6 +68,24 @@ struct ExperimentResult {
   /// Mean Safeguard time per recovered injection, microseconds.
   double meanRecoveryUs() const;
   double meanKernelUs() const;
+
+  /// Fig. 9 phase breakdown: mean per-recovered-injection wall time in each
+  /// Safeguard phase (same population as meanRecoveryUs).
+  struct RecoveryPhases {
+    double keyUs = 0;    // PC -> key mapping
+    double loadUs = 0;   // lazy artifact load + kernel lookup
+    double paramUs = 0;  // operand disassembly + parameter fetch
+    double kernelUs = 0; // kernel execution incl. Fig. 11 retries
+    double patchUs = 0;  // operand patch
+    double totalUs = 0;  // whole activation (>= sum of phases)
+    double prepUs() const { return keyUs + loadUs + paramUs + patchUs; }
+    /// Preparation share of the measured phase time (paper: >= 98%).
+    double prepShare() const {
+      const double sum = prepUs() + kernelUs;
+      return sum > 0 ? prepUs() / sum : 0;
+    }
+  };
+  RecoveryPhases meanRecoveryPhases() const;
 };
 
 /// Compile `w` with CARE per cfg, then run (or load from cache) the
@@ -80,10 +98,11 @@ ExperimentResult runExperiment(const workloads::Workload& w,
                                CampaignTelemetry* telemetry = nullptr);
 
 /// Serialize the deterministic portion of a result — everything except the
-/// two wall-clock microsecond fields (recoveryUsTotal / kernelUsTotal),
-/// which vary between any two runs, serial or not. This byte stream is the
-/// statement of the parallel ≡ serial equivalence guarantee: it is
-/// identical for every `threads` value.
+/// wall-clock microsecond fields (recoveryUsTotal / kernelUsTotal and the
+/// per-phase keyUs/loadUs/paramUs/patchUs totals), which vary between any
+/// two runs, serial or not. This byte stream is the statement of the
+/// parallel ≡ serial equivalence guarantee: it is identical for every
+/// `threads` value.
 std::vector<std::uint8_t> serializeDeterministic(const ExperimentResult& r);
 
 /// Also expose the compile step so compile-stat benches (Tables 5/8) share

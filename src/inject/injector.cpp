@@ -7,6 +7,7 @@
 
 #include "support/bitutil.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace care::inject {
 
@@ -110,10 +111,13 @@ Campaign::Campaign(const vm::Image* image, CampaignConfig cfg)
 }
 
 bool Campaign::profile() {
+  trace::Span profileSpan("campaign.profile", "campaign");
   Executor ex(image_, baseMem_);
   ex.enableProfiling();
   ex.setBudget(2'000'000'000ull);
+  trace::Span goldenSpan("campaign.golden_run", "campaign");
   const vm::RunResult res = vm::runToCompletion(ex, cfg_.entry);
+  goldenSpan.end();
   if (res.status != vm::RunStatus::Done) return false;
   goldenInstrs_ = res.instrCount;
   goldenOutput_ = ex.output();
@@ -155,6 +159,7 @@ bool Campaign::profile() {
 }
 
 void Campaign::buildCheckpoints() {
+  trace::Span span("campaign.build_checkpoints", "campaign");
   // Re-run the golden execution, pausing on every segment boundary. The
   // budget check fires *before* an instruction executes, so stopping on an
   // exact instrCount leaves the executor at a clean instruction boundary;
@@ -242,7 +247,10 @@ InjectionResult Campaign::runInjection(
   // comparison below are oblivious to the skipped prefix.
   std::uint64_t armNth = pt.nth;
   if (const TrialCheckpoint* ck = replaySource(pt)) {
-    ex.restoreCheckpoint(ck->rp);
+    {
+      trace::Span restoreSpan("trial.restore_checkpoint", "campaign");
+      ex.restoreCheckpoint(ck->rp);
+    }
     armNth = pt.nth -
              ck->siteCounts[static_cast<std::size_t>(siteIndexOf(pt.loc))];
     res.replaySavedInstrs = ck->rp.instrCount;
@@ -295,6 +303,10 @@ InjectionResult Campaign::runInjection(
     for (const core::RecoveryRecord& r : st.records) {
       res.recoveryUsTotal += r.totalUs;
       res.kernelUsTotal += r.kernelUs;
+      res.keyUsTotal += r.keyUs;
+      res.loadUsTotal += r.loadUs;
+      res.paramUsTotal += r.paramUs;
+      res.patchUsTotal += r.patchUs;
       if (!r.recovered && res.careFailReason.empty())
         res.careFailReason = r.failReason;
     }

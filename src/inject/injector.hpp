@@ -52,6 +52,13 @@ struct InjectionResult {
   std::uint64_t ivAltRecoveries = 0;  // Fig. 11 extension successes
   double recoveryUsTotal = 0;         // sum over activations
   double kernelUsTotal = 0;           // time inside recovery kernels
+  // Fig. 9 phase breakdown, summed over activations (wall-clock fields,
+  // outside the determinism guarantee like the two sums above; kernel time
+  // is kernelUsTotal). Phases an activation failed before reaching are 0.
+  double keyUsTotal = 0;              // PC -> key mapping
+  double loadUsTotal = 0;             // lazy artifact load + kernel lookup
+  double paramUsTotal = 0;            // operand disassembly + param fetch
+  double patchUsTotal = 0;            // operand patch
   bool outputMatchesGolden = false;
   std::string careFailReason;         // first Safeguard failure, if any
 };

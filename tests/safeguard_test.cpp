@@ -7,6 +7,7 @@
 #include "care/driver.hpp"
 #include "inject/injector.hpp"
 #include "support/rng.hpp"
+#include "support/trace.hpp"
 
 namespace care::test {
 namespace {
@@ -207,6 +208,162 @@ TEST(Safeguard, StatsRecordTimingBreakdown) {
     }
   }
   FAIL() << "no recovery observed";
+}
+
+TEST(Safeguard, TruncatedLineTableFailsGracefully) {
+  // A PC whose instruction index is outside the function's line table must
+  // produce a clean "no debug location" failure, not an out-of-bounds read.
+  Env e = build(opt::OptLevel::O0, "linetab");
+  inject::CampaignConfig ccfg;
+  inject::Campaign campaign(e.image.get(), ccfg);
+  ASSERT_TRUE(campaign.profile());
+  const auto pt = findSegv(e, campaign, 11);
+  // The image executes the same MFunctions the module owns, so emptying the
+  // line tables models debug info stripped after codegen.
+  for (auto& fn : e.cm.mmod->functions) fn.lineTable.clear();
+  const auto r = campaign.runInjection(pt, &e.artifacts);
+  EXPECT_FALSE(r.careRecovered);
+  EXPECT_EQ(r.careFailReason, "no debug location");
+}
+
+TEST(Safeguard, PatchSkipsZeroScaleIndex) {
+  // scale == 0 cannot come out of the backend, but a corrupt MemRef must
+  // not divide by zero: the index is unpatchable and the base absorbs the
+  // correction.
+  vm::MachineState st;
+  st.g[3] = 1000;
+  st.g[4] = 77;
+  backend::MemRef mem;
+  mem.base = 3;
+  mem.index = 4;
+  mem.scale = 0;
+  mem.disp = 8;
+  EXPECT_TRUE(core::patchAddressOperand(st, mem, /*gaddr=*/0,
+                                        /*newAddr=*/2048,
+                                        Safeguard::PatchTarget::IndexFirst));
+  EXPECT_EQ(st.g[4], 77u) << "index register must not be touched";
+  EXPECT_EQ(st.g[3], 2048u - 0u * 0u - 8u); // newAddr - index*scale - disp
+}
+
+TEST(Safeguard, PatchRefusesZeroScaleWithPinnedBase) {
+  // Zero scale AND a frame-pointer base: nothing is patchable.
+  vm::MachineState st;
+  st.g[backend::kFP] = 4096;
+  st.g[2] = 5;
+  backend::MemRef mem;
+  mem.base = backend::kFP;
+  mem.index = 2;
+  mem.scale = 0;
+  EXPECT_FALSE(core::patchAddressOperand(st, mem, 0, 2048,
+                                         Safeguard::PatchTarget::IndexFirst));
+  EXPECT_EQ(st.g[backend::kFP], 4096u);
+  EXPECT_EQ(st.g[2], 5u);
+}
+
+TEST(Safeguard, PatchPrefersIndexWhenDivisible) {
+  vm::MachineState st;
+  st.g[3] = 1000;
+  st.g[4] = 5;
+  backend::MemRef mem;
+  mem.base = 3;
+  mem.index = 4;
+  mem.scale = 8;
+  EXPECT_TRUE(core::patchAddressOperand(st, mem, 0, /*newAddr=*/1096,
+                                        Safeguard::PatchTarget::IndexFirst));
+  EXPECT_EQ(st.g[4], 12u); // (1096 - 1000) / 8
+  EXPECT_EQ(st.g[3], 1000u);
+}
+
+TEST(Safeguard, RecordCapBoundsMemoryButNotCounters) {
+  Env e = build(opt::OptLevel::O0, "cap");
+  inject::CampaignConfig ccfg;
+  inject::Campaign campaign(e.image.get(), ccfg);
+  ASSERT_TRUE(campaign.profile());
+  const auto pt = findSegv(e, campaign, 21);
+
+  // One long-lived Safeguard with NO modules registered: every activation
+  // fails with the same stable reason. Cap the records at 2 and trap 5x.
+  Safeguard sg;
+  sg.setMaxRecords(2);
+  for (int i = 0; i < 5; ++i) {
+    vm::Executor ex(e.image.get());
+    ex.setBudget(1'000'000'000ull);
+    sg.attach(ex);
+    ex.armInjection(pt.loc, pt.nth, [&](vm::Executor& ex2) {
+      inject::Campaign::corruptDestination(ex2, pt.loc, pt.bits);
+    });
+    const vm::RunResult r = vm::runToCompletion(ex, "main");
+    EXPECT_EQ(r.status, vm::RunStatus::Trapped);
+  }
+  EXPECT_EQ(sg.stats().activations, 5u);
+  EXPECT_EQ(sg.stats().records.size(), 2u);
+  EXPECT_EQ(sg.stats().droppedRecords, 3u);
+  // failures is keyed by the closed failCodeName set, not per-activation
+  // strings: one key, counted 5 times.
+  ASSERT_EQ(sg.stats().failures.size(), 1u);
+  const auto it = sg.stats().failures.find(
+      core::failCodeName(core::FailCode::ModuleNotCompiled));
+  ASSERT_NE(it, sg.stats().failures.end());
+  EXPECT_EQ(it->second, 5u);
+}
+
+TEST(Safeguard, PhaseTimingsTileTheActivation) {
+  // Fig. 9 invariant: the five phases are cut on one boundary-timestamp
+  // timeline, so on a recovered activation they sum to at most the total
+  // (the gap is only record construction + artifact release) and account
+  // for the bulk of it.
+  Env e = build(opt::OptLevel::O0, "phases");
+  inject::CampaignConfig ccfg;
+  inject::Campaign campaign(e.image.get(), ccfg);
+  ASSERT_TRUE(campaign.profile());
+  Rng rng(123);
+  for (int i = 0; i < 300; ++i) {
+    const auto pt = campaign.sample(rng);
+    const auto plain = campaign.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    const auto withCare = campaign.runInjection(pt, &e.artifacts);
+    if (!withCare.careRecovered) continue;
+    const double phaseSum = withCare.keyUsTotal + withCare.loadUsTotal +
+                            withCare.paramUsTotal + withCare.kernelUsTotal +
+                            withCare.patchUsTotal;
+    EXPECT_GT(phaseSum, 0.0);
+    EXPECT_LE(phaseSum, withCare.recoveryUsTotal * 1.0001 + 1e-6);
+    EXPECT_GE(phaseSum, 0.5 * withCare.recoveryUsTotal)
+        << "phases should account for the bulk of the activation";
+    return;
+  }
+  FAIL() << "no recovery observed";
+}
+
+TEST(Safeguard, RecoveryEmitsTraceSpans) {
+  trace::enable((std::filesystem::temp_directory_path() /
+                 "care_safeguard_trace_test.json")
+                    .string());
+  trace::reset();
+  Env e = build(opt::OptLevel::O0, "trace");
+  inject::CampaignConfig ccfg;
+  inject::Campaign campaign(e.image.get(), ccfg);
+  ASSERT_TRUE(campaign.profile());
+  Rng rng(7);
+  bool recovered = false;
+  for (int i = 0; i < 300 && !recovered; ++i) {
+    const auto pt = campaign.sample(rng);
+    const auto plain = campaign.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    recovered = campaign.runInjection(pt, &e.artifacts).careRecovered;
+  }
+  const std::string json = trace::render();
+  trace::disable();
+  trace::reset();
+  ASSERT_TRUE(recovered) << "no recovery observed";
+  for (const char* span : {"safeguard.key", "safeguard.load",
+                           "safeguard.params", "safeguard.kernel",
+                           "safeguard.patch", "safeguard.onTrap"})
+    EXPECT_NE(json.find(span), std::string::npos) << span;
 }
 
 } // namespace

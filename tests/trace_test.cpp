@@ -1,0 +1,290 @@
+// Unit tests for src/support/trace: the structured-tracing ring buffers and
+// their Chrome trace-event JSON rendering (DESIGN.md §4d).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/trace.hpp"
+
+namespace care::test {
+namespace {
+
+// Each test arms or disarms tracing itself so the suite is order-independent
+// (and immune to a CARE_TRACE value in the environment).
+std::string tmpPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("care_trace_test_") + name + ".json"))
+      .string();
+}
+
+// --- minimal JSON validator -------------------------------------------------
+// Recursive-descent well-formedness check; no values are interpreted. Enough
+// to catch unbalanced braces, bad escapes and trailing commas in render().
+
+class JsonValidator {
+public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+    case '{': return object();
+    case '[': return array();
+    case '"': return string();
+    case 't': return literal("true");
+    case 'f': return literal("false");
+    case 'n': return literal("null");
+    default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_; // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_; // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false; // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i)
+            if (pos_ + i >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return false;
+          pos_ += 4;
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- tests ------------------------------------------------------------------
+
+TEST(Trace, DisabledModeRecordsNothing) {
+  trace::disable();
+  trace::reset();
+  ASSERT_FALSE(trace::enabled());
+  {
+    trace::Span s("noop.span", "test");
+  }
+  trace::counter("noop.counter", 42.0);
+  trace::instant("noop.instant");
+  trace::span("noop.external", "test", trace::Clock::now(),
+              trace::Clock::now());
+  EXPECT_EQ(trace::bufferedEvents(), 0u);
+}
+
+TEST(Trace, SpanLatchesArmedStateAtConstruction) {
+  trace::disable();
+  trace::reset();
+  trace::Span s("latched.span", "test"); // constructed while disabled
+  trace::enable(tmpPath("latched"));
+  s.end();
+  EXPECT_EQ(trace::bufferedEvents(), 0u);
+  trace::disable();
+  trace::reset();
+}
+
+TEST(Trace, RecordsSpansCountersAndInstants) {
+  trace::enable(tmpPath("records"));
+  trace::reset();
+  {
+    trace::Span outer("outer.span", "test");
+    {
+      trace::Span inner("inner.span", "test");
+    }
+    trace::counter("events.count", 7.0);
+    trace::instant("marker", "test");
+  }
+  EXPECT_EQ(trace::bufferedEvents(), 4u);
+  const std::string json = trace::render();
+  EXPECT_NE(json.find("outer.span"), std::string::npos);
+  EXPECT_NE(json.find("inner.span"), std::string::npos);
+  EXPECT_NE(json.find("events.count"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  trace::disable();
+  trace::reset();
+}
+
+TEST(Trace, RenderIsWellFormedJson) {
+  trace::enable(tmpPath("wellformed"));
+  trace::reset();
+  for (int i = 0; i < 20; ++i) {
+    trace::Span s("phase", "test");
+    trace::counter("n", i);
+  }
+  // Names with JSON metacharacters must be escaped.
+  trace::instant("quote\"back\\slash", "test");
+  trace::instant("ctrl\x01name", "test");
+  const std::string json = trace::render();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  trace::disable();
+  trace::reset();
+}
+
+TEST(Trace, RingWrapsAndCountsDrops) {
+  trace::disable();
+  trace::reset();
+  trace::enable(tmpPath("wrap"), /*ringCapacity=*/8);
+  // This thread may hold a buffer from an earlier test with the default
+  // capacity, so measure growth rather than assuming 8. A fresh thread gets
+  // the small ring: record far more events than fit.
+  std::thread t([] {
+    for (int i = 0; i < 100; ++i) trace::counter("wrap.n", i);
+  });
+  t.join();
+  const std::string json = trace::render();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // The synthetic drop counter reports the 92 overwritten events.
+  EXPECT_NE(json.find("trace.dropped"), std::string::npos);
+  // Newest events survive the wrap; the oldest are gone.
+  EXPECT_NE(json.find("\"args\":{\"value\":99}"), std::string::npos);
+  trace::disable();
+  trace::reset();
+}
+
+TEST(Trace, WritesFileAtExplicitPath) {
+  const std::string path = tmpPath("write");
+  std::filesystem::remove(path);
+  trace::enable(path);
+  trace::reset();
+  { trace::Span s("file.span", "test"); }
+  ASSERT_TRUE(trace::write());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(JsonValidator(ss.str()).valid());
+  EXPECT_NE(ss.str().find("file.span"), std::string::npos);
+  trace::disable();
+  trace::reset();
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, PidExpansionInPath) {
+  trace::enable("/tmp/care_trace_%p.json");
+  EXPECT_EQ(trace::outputPath().find("%p"), std::string::npos);
+  EXPECT_NE(trace::outputPath(), "/tmp/care_trace_.json");
+  trace::disable();
+  trace::reset();
+}
+
+TEST(Trace, ThreadsGetDistinctTids) {
+  trace::enable(tmpPath("tids"));
+  trace::reset();
+  trace::instant("main.thread", "test");
+  std::thread t([] { trace::instant("other.thread", "test"); });
+  t.join();
+  EXPECT_EQ(trace::bufferedEvents(), 2u);
+  const std::string json = trace::render();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // Two events on two threads: at least two distinct "tid": values.
+  const auto first = json.find("\"tid\":");
+  ASSERT_NE(first, std::string::npos);
+  const auto second = json.find("\"tid\":", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  trace::disable();
+  trace::reset();
+}
+
+TEST(Trace, ResetClearsBuffers) {
+  trace::enable(tmpPath("reset"));
+  trace::reset();
+  trace::counter("gone", 1.0);
+  ASSERT_GT(trace::bufferedEvents(), 0u);
+  trace::reset();
+  EXPECT_EQ(trace::bufferedEvents(), 0u);
+  EXPECT_TRUE(trace::enabled()) << "reset must not disarm tracing";
+  trace::disable();
+  trace::reset();
+}
+
+} // namespace
+} // namespace care::test

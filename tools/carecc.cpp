@@ -22,6 +22,7 @@
 #include "ir/printer.hpp"
 #include "ir/serialize.hpp"
 #include "support/rng.hpp"
+#include "support/trace.hpp"
 
 using namespace care;
 
@@ -58,7 +59,11 @@ void usage() {
                "  --interp=fast|ref  interpreter loop (default fast; ref is\n"
                "                     the big-switch reference, bit-identical)\n"
                "  --no-care          inject without Safeguard attached\n"
-               "  --iv-recovery      enable the Fig. 11 extension\n");
+               "  --iv-recovery      enable the Fig. 11 extension\n"
+               "  --trace=<file>     write a Chrome trace-event JSON of the\n"
+               "                     recovery/campaign phases (%%p expands to\n"
+               "                     the PID; CARE_TRACE=<file> does the same\n"
+               "                     for any CARE binary)\n");
 }
 
 std::string slurp(const std::string& path) {
@@ -249,6 +254,9 @@ int main(int argc, char** argv) {
       a.ckptInterval = std::strtoull(next().c_str(), nullptr, 10);
     else if (s == "--interp=ref") vm::setDefaultInterp(vm::InterpKind::Ref);
     else if (s == "--interp=fast") vm::setDefaultInterp(vm::InterpKind::Fast);
+    else if (s.rfind("--trace=", 0) == 0)
+      trace::enable(s.substr(std::strlen("--trace=")));
+    else if (s == "--trace") trace::enable(next());
     else if (s == "--no-care") a.withCare = false;
     else if (s == "--iv-recovery") a.inductionRecovery = true;
     else if (s == "-h" || s == "--help") { usage(); return 0; }
