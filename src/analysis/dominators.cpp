@@ -49,7 +49,10 @@ DominatorTree::DominatorTree(const Function& f) : f_(f) {
         auto it = rpoIndex_.find(p);
         if (it == rpoIndex_.end()) continue; // unreachable pred
         const int pi = it->second;
-        if (pi != i && idom_[static_cast<std::size_t>(pi)] == -1 && pi != 0)
+        // Skip preds without an idom yet — including a self-edge on the
+        // first visit (pi == i), which would otherwise feed intersect() a
+        // node whose chain dead-ends at -1 and never meets the entry.
+        if (pi != 0 && idom_[static_cast<std::size_t>(pi)] == -1)
           continue; // not yet processed
         newIdom = (newIdom == -1) ? pi : intersect(newIdom, pi);
       }

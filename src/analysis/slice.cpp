@@ -1,0 +1,128 @@
+#include "analysis/slice.hpp"
+
+#include <map>
+#include <set>
+
+namespace care::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+/// Is `op` guaranteed fetchable from the stalled process at `at`?
+bool isLiveAvailable(const Value* op, const Instruction* at,
+                     const Liveness& live, const SliceOptions& opts) {
+  if (opts.maximal) return true;
+  // An alloca's value is the frame address rbp+offset: recomputable at
+  // any PC of the function regardless of SSA liveness (the backend emits
+  // a whole-function FrameAddr location for it), so the Terminal Value
+  // liveness gate does not apply.
+  if (const auto* in = dynamic_cast<const Instruction*>(op);
+      in && in->opcode() == Opcode::Alloca)
+    return true;
+  if (!live.liveBefore(op, at)) return false;
+  if (!opts.requireNonLocalUse) return true;
+  return live.hasNonLocalUse(op);
+}
+
+bool isExpandable(const Value* v, const Instruction* memInst,
+                  const Liveness& live, const SliceOptions& opts,
+                  std::map<const Value*, bool>& memo) {
+  auto it = memo.find(v);
+  if (it != memo.end()) return it->second;
+  memo[v] = false; // break cycles conservatively (phis stop anyway)
+  const auto* in = dynamic_cast<const Instruction*>(v);
+  if (!in) return false; // constants/globals/args are never statements
+  switch (in->opcode()) {
+  case Opcode::Alloca:
+  case Opcode::Phi:
+  case Opcode::Load: // loads are expandable: re-read the (intact) memory
+  case Opcode::Gep:
+    break;
+  case Opcode::Call:
+    if (!isSimpleCallInst(in)) return false;
+    break;
+  default:
+    break;
+  }
+  if (in->opcode() == Opcode::Alloca || in->opcode() == Opcode::Phi)
+    return false;
+  if (in->opcode() == Opcode::Load && !opts.expandLoads) return false;
+  if (in->opcode() == Opcode::Store || in->isTerminator()) return false;
+  // Every operand must be live-at-I (fetchable) or itself expandable.
+  for (unsigned i = 0; i < in->numOperands(); ++i) {
+    const Value* op = in->operand(i);
+    if (op->isConstant()) continue;
+    if (op->kind() == ir::ValueKind::GlobalVariable) continue; // address
+    if (!isLiveAvailable(op, memInst, live, opts) &&
+        !isExpandable(op, memInst, live, opts, memo))
+      return false;
+  }
+  memo[v] = true;
+  return true;
+}
+
+} // namespace
+
+bool isSimpleCallInst(const Instruction* in) {
+  return in->opcode() == Opcode::Call && in->callee() &&
+         (in->callee()->isIntrinsic() || in->callee()->isSimpleCall());
+}
+
+AddressSlice extractAddressSlice(const Instruction* memInst,
+                                 const Liveness& live,
+                                 const SliceOptions& opts) {
+  AddressSlice s;
+  std::map<const Value*, bool> memo;
+  std::set<const Value*> inParams, inStmts;
+  std::vector<const Value*> workspace{memInst->pointerOperand()};
+  while (!workspace.empty()) {
+    const Value* v = workspace.back();
+    workspace.pop_back();
+    if (inParams.count(v) || inStmts.count(v)) continue;
+    if (v->isConstant()) continue;
+    if (isExpandable(v, memInst, live, opts, memo)) {
+      inStmts.insert(v);
+      s.stmts.push_back(static_cast<const Instruction*>(v));
+      const auto* in = static_cast<const Instruction*>(v);
+      for (unsigned i = 0; i < in->numOperands(); ++i) {
+        const Value* op = in->operand(i);
+        if (op->isConstant()) continue;
+        workspace.push_back(op);
+      }
+    } else {
+      inParams.insert(v);
+      s.params.push_back(v);
+    }
+  }
+  // Topological order by data dependence (stmts form a DAG).
+  std::vector<const Instruction*> ordered;
+  std::set<const Instruction*> done;
+  std::vector<const Instruction*> stack;
+  for (const Instruction* in : s.stmts) {
+    if (done.count(in)) continue;
+    stack.push_back(in);
+    while (!stack.empty()) {
+      const Instruction* cur = stack.back();
+      bool ready = true;
+      for (unsigned i = 0; i < cur->numOperands(); ++i) {
+        const auto* dep = dynamic_cast<const Instruction*>(cur->operand(i));
+        if (dep && inStmts.count(dep) && !done.count(dep)) {
+          stack.push_back(dep);
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        stack.pop_back();
+        if (done.insert(cur).second) ordered.push_back(cur);
+      }
+    }
+  }
+  s.stmts = std::move(ordered);
+  return s;
+}
+
+} // namespace care::analysis

@@ -1,0 +1,52 @@
+// Backward address-slice extraction (paper §3.2 / Fig. 5).
+//
+// Shared by two clients that duplicate address computations:
+//  * Armor clones the slice into out-of-process recovery kernels, where
+//    terminals must be fetchable from the *stalled* process — hence the
+//    Terminal Value liveness rule — and loads may be re-executed against
+//    the intact memory at recovery time;
+//  * the Sentinel ADDR detector clones the slice inline as a shadow chain,
+//    where terminals are ordinary dominating SSA values (no liveness rule)
+//    but loads must NOT be re-executed (memory may have been legitimately
+//    overwritten since the original load, so an inline re-read could
+//    diverge on a fault-free run).
+#pragma once
+
+#include <vector>
+
+#include "analysis/liveness.hpp"
+
+namespace care::analysis {
+
+struct SliceOptions {
+  /// Terminal Value rule: a slice input must be live at the protected
+  /// access *and* have a non-local use (machine-level availability).
+  bool requireNonLocalUse = true;
+  /// Slice to the roots, ignoring liveness (Armor's §3.2 strawman ablation;
+  /// also the correct setting for inline shadow chains, where SSA dominance
+  /// already guarantees every input is available).
+  bool maximal = false;
+  /// Loads are expandable statements (re-read the intact memory) when true;
+  /// terminals when false.
+  bool expandLoads = true;
+};
+
+/// A backward slice of one memory access's address computation.
+struct AddressSlice {
+  std::vector<const ir::Value*> params;      // terminal inputs, in order
+  std::vector<const ir::Instruction*> stmts; // topo order, deps first
+};
+
+/// Is this call one the slicer may treat as a plain operator (paper §3.2
+/// rule 5): an intrinsic or a function marked as a "simple call"?
+bool isSimpleCallInst(const ir::Instruction* in);
+
+/// Extract the backward slice of `memInst`'s address. Terminals (allocas,
+/// globals, arguments, phis, non-simple calls, and — per `opts` — loads or
+/// liveness-limited values) become params; everything else becomes a
+/// statement to clone.
+AddressSlice extractAddressSlice(const ir::Instruction* memInst,
+                                 const Liveness& live,
+                                 const SliceOptions& opts);
+
+} // namespace care::analysis

@@ -540,6 +540,12 @@ void ISel::lowerCall(const Instruction* in) {
     emit(mi);
     return;
   }
+  if (callee->name() == "__sentinel_trap") {
+    MInst mi;
+    mi.op = MOp::SentinelTrap;
+    emit(mi);
+    return;
+  }
   if (callee->name() == "mpi_barrier") {
     MInst mi;
     mi.op = MOp::Barrier;

@@ -75,6 +75,7 @@ const char* mopName(MOp op) {
   case MOp::EmitI: return "emiti";
   case MOp::Abort: return "abort";
   case MOp::Barrier: return "barrier";
+  case MOp::SentinelTrap: return "senttrap";
   }
   CARE_UNREACHABLE("bad mop");
 }

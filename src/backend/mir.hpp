@@ -114,6 +114,7 @@ enum class MOp : std::uint8_t {
   EmitI,    // append i(src1)
   Abort,    // raise the Abort trap (assert failure / __abort)
   Barrier,  // yield to the harness (MPI_Barrier analogue; run() resumes)
+  SentinelTrap, // raise the Sentinel trap (detector mismatch / __sentinel_trap)
 };
 
 const char* mopName(MOp op);

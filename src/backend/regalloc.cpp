@@ -80,6 +80,7 @@ void collectRegRefs(MInst& in, std::vector<RegRef>& out) {
   case MOp::Ret:
   case MOp::Abort:
   case MOp::Barrier:
+  case MOp::SentinelTrap:
     break;
   }
   if (in.hasMem()) {
@@ -513,7 +514,7 @@ std::unique_ptr<MModule> lowerModule(const ir::Module& irm) {
     if (f->isIntrinsic()) continue;
     const std::string& nm = f->name();
     if (nm == "emit" || nm == "emiti" || nm == "__abort" ||
-        nm == "mpi_barrier")
+        nm == "mpi_barrier" || nm == "__sentinel_trap")
       continue;
     if (f->isDeclaration()) {
       ml.externIndex[f] = static_cast<std::int32_t>(mm->externs.size());

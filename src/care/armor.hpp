@@ -13,6 +13,7 @@
 
 #include "care/recovery_table.hpp"
 #include "ir/module.hpp"
+#include "sentinel/sentinel.hpp"
 
 namespace care::core {
 
@@ -29,6 +30,16 @@ struct ArmorOptions {
   /// record the affine relation so Safeguard can recompute a corrupted
   /// induction variable from its peer.
   bool inductionRecovery = false;
+  /// Sentinel detectors (DESIGN.md §4e) to arm between Armor and lowering.
+  /// Off by default; golden outputs are unchanged unless armed.
+  sentinel::DetectOptions detect;
+  /// When true (the default) the CARE_DETECT environment variable, if set,
+  /// overrides `detect`. Tests and benches pin this to false so the
+  /// environment cannot perturb their expectations.
+  bool detectAuto = true;
+  sentinel::DetectOptions resolvedDetect() const {
+    return detectAuto ? sentinel::detectFromEnv(detect) : detect;
+  }
 };
 
 struct ArmorStats {

@@ -48,6 +48,16 @@ CompiledModule careCompile(const std::vector<SourceFile>& sources,
     out.timings.armorSec = secSince(tArmor0);
   }
 
+  // --- Sentinel detectors (after Armor so instrumentation can't perturb
+  // --- the recovery slices; independent of enableCare) ---------------------
+  if (const sentinel::DetectOptions det = opts.armor.resolvedDetect();
+      det.any()) {
+    const auto tSent0 = Clock::now();
+    out.sentinelStats = sentinel::runSentinel(*out.irMod, det);
+    ir::verifyOrDie(*out.irMod);
+    out.timings.sentinelSec = secSince(tSent0);
+  }
+
   // --- lowering (still part of "normal compilation" time) ------------------
   const auto tLower0 = Clock::now();
   out.mmod = backend::lowerModule(*out.irMod);

@@ -22,8 +22,9 @@ struct SourceFile {
 };
 
 struct CompileTimings {
-  double normalSec = 0; // parse + codegen + optimize + isel + regalloc
-  double armorSec = 0;  // slicing + liveness + kernel emission + serialize
+  double normalSec = 0;   // parse + codegen + optimize + isel + regalloc
+  double armorSec = 0;    // slicing + liveness + kernel emission + serialize
+  double sentinelSec = 0; // detector instrumentation (when armed)
 };
 
 struct CompiledModule {
@@ -31,6 +32,7 @@ struct CompiledModule {
   std::unique_ptr<backend::MModule> mmod;   // executable MIR
   ModuleArtifacts artifacts;                // recovery table+library files
   ArmorStats armorStats;
+  sentinel::SentinelStats sentinelStats;    // empty unless detectors armed
   CompileTimings timings;
 };
 

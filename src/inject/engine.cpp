@@ -92,6 +92,8 @@ std::string CampaignTelemetry::json() const {
   jsonField(out, "replay_saved_instrs", "%llu,",
             static_cast<unsigned long long>(replaySavedInstrs));
   jsonField(out, "effective_mips", "%.2f,", effectiveMips);
+  jsonField(out, "detected", "%d,", detected);
+  jsonField(out, "detect_latency_instrs", "%.1f,", detectLatencyInstrs);
   jsonField(out, "recoveries", "%llu,",
             static_cast<unsigned long long>(recoveries));
   out += "\"recovery_phase_us\":{";
@@ -226,11 +228,16 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
             : 0;
     std::uint64_t instrs = 0;
     std::uint64_t saved = 0;
+    double detectLatencySum = 0;
     for (const InjectionRecord& rec : records) {
       // instrsExecuted is absolute (counted from instruction 0); subtract
       // the replayed prefix so simInstrs/mips report work actually done.
       instrs += rec.plain.instrsExecuted - rec.plain.replaySavedInstrs;
       saved += rec.plain.replaySavedInstrs;
+      if (rec.plain.outcome == Outcome::Detected) {
+        ++telemetry->detected;
+        detectLatencySum += static_cast<double>(rec.plain.latencyInstrs);
+      }
       if (rec.haveCare) {
         instrs += rec.withCare.instrsExecuted - rec.withCare.replaySavedInstrs;
         saved += rec.withCare.replaySavedInstrs;
@@ -246,6 +253,8 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
     }
     telemetry->simInstrs = instrs;
     telemetry->replaySavedInstrs = saved;
+    telemetry->detectLatencyInstrs =
+        telemetry->detected ? detectLatencySum / telemetry->detected : 0;
     telemetry->mips = telemetry->wallSec > 0
                           ? static_cast<double>(instrs) / 1e6 /
                                 telemetry->wallSec

@@ -59,6 +59,11 @@ struct CampaignTelemetry {
   // every Safeguard activation in the campaign's CARE re-runs, emitted as
   // the "recovery_phase_us" object in json(). All zero when no trial was
   // re-run with CARE.
+  // Sentinel detectors (DESIGN.md §4e): trials whose plain run ended in a
+  // detector trap, and their mean injection->trap distance in dynamic
+  // instructions. Both zero when detectors are off.
+  int detected = 0;
+  double detectLatencyInstrs = 0;
   std::uint64_t recoveries = 0; // trials whose CARE re-run recovered
   double recKeyUs = 0;          // PC -> key mapping
   double recLoadUs = 0;         // lazy artifact load + kernel lookup

@@ -14,6 +14,10 @@ namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
 constexpr std::uint32_t kCacheVersion = 8; // v8: recovery phase timings
+/// Folded into the cache key only when Sentinel detectors are armed, so
+/// detector-off campaigns keep their pre-Sentinel paths and bytes while
+/// armed campaigns can never collide with stale detector-free entries.
+constexpr std::uint64_t kSentinelCacheVersion = 1;
 
 std::string cachePath(const std::string& workload,
                       const ExperimentConfig& cfg,
@@ -35,6 +39,12 @@ std::string cachePath(const std::string& workload,
                                 ckptInterval,
                                 kCacheVersion};
   h.update(nums, sizeof(nums));
+  if (const sentinel::DetectOptions det = cfg.armor.resolvedDetect();
+      det.any()) {
+    const std::uint64_t sent[] = {kSentinelCacheVersion, det.cfc ? 1u : 0u,
+                                  det.addr ? 1u : 0u};
+    h.update(sent, sizeof(sent));
+  }
   return cfg.cacheDir + "/exp_" + workload + "_" +
          (cfg.level == opt::OptLevel::O0 ? "O0" : "O1") + "_" +
          h.finish().hex().substr(0, 12) + ".camp";
@@ -150,6 +160,17 @@ int ExperimentResult::count(Outcome o) const {
   return n;
 }
 
+double ExperimentResult::meanDetectionLatencyInstrs() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.plain.outcome != Outcome::Detected || !r.plain.injected) continue;
+    sum += static_cast<double>(r.plain.latencyInstrs);
+    ++n;
+  }
+  return n ? sum / n : 0;
+}
+
 int ExperimentResult::countSignal(vm::TrapKind k) const {
   int n = 0;
   for (const auto& r : records)
@@ -237,10 +258,12 @@ BuiltWorkload buildWorkload(const workloads::Workload& w,
   copts.armor = cfg.armor;
   copts.artifactDir = cfg.cacheDir;
   BuiltWorkload b;
+  const sentinel::DetectOptions det = cfg.armor.resolvedDetect();
   const std::string tag =
       w.name + (cfg.level == opt::OptLevel::O0 ? "_O0" : "_O1") +
       (cfg.armor.maximalSlicing ? "_max" : "") +
-      (cfg.armor.requireNonLocalUse ? "" : "_nlu0");
+      (cfg.armor.requireNonLocalUse ? "" : "_nlu0") +
+      (det.cfc ? "_dc" : "") + (det.addr ? "_da" : "");
   b.cm = core::careCompile(w.sources, tag, copts);
   b.image = std::make_unique<vm::Image>();
   b.image->load(b.cm.mmod.get());

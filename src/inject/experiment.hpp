@@ -59,6 +59,10 @@ struct ExperimentResult {
 
   // --- aggregations used by the table benches ------------------------------
   int count(Outcome o) const;
+  int detectedCount() const { return count(Outcome::Detected); }
+  /// Mean detection latency (injection -> Sentinel trap) in dynamic
+  /// instructions over Detected trials; 0 when there are none.
+  double meanDetectionLatencyInstrs() const;
   int countSignal(vm::TrapKind k) const;             // among soft failures
   int segvCount() const { return countSignal(vm::TrapKind::SegFault); }
   int recoveredCount() const;                        // CARE coverage numerator

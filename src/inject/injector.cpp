@@ -22,6 +22,7 @@ const char* outcomeName(Outcome o) {
   case Outcome::SoftFailure: return "SoftFailure";
   case Outcome::SDC: return "SDC";
   case Outcome::Hang: return "Hang";
+  case Outcome::Detected: return "Detected";
   }
   return "?";
 }
@@ -284,7 +285,12 @@ InjectionResult Campaign::runInjection(
     res.outcome = res.outputMatchesGolden ? Outcome::Benign : Outcome::SDC;
     break;
   case vm::RunStatus::Trapped:
-    res.outcome = Outcome::SoftFailure;
+    // A Sentinel trap is a *detected* corruption: the latency field then
+    // measures detection latency (injection -> detector check) instead of
+    // injection -> crash.
+    res.outcome = run.trap.kind == vm::TrapKind::Sentinel
+                      ? Outcome::Detected
+                      : Outcome::SoftFailure;
     res.signal = run.trap.kind;
     res.latencyInstrs = fired ? run.instrCount - injAt : 0;
     break;

@@ -21,7 +21,12 @@
 
 namespace care::inject {
 
-enum class Outcome : std::uint8_t { Benign, SoftFailure, SDC, Hang };
+/// Trial classification. `Detected` is a SoftFailure-like termination by a
+/// Sentinel detector trap (vm::TrapKind::Sentinel): the corruption would
+/// have been an SDC or Hang, but compiler-inserted checks converted it into
+/// an attributable abort. Kept distinct so detector coverage is measurable
+/// and Table 3's SIGABRT bucket stays assert-only.
+enum class Outcome : std::uint8_t { Benign, SoftFailure, SDC, Hang, Detected };
 
 const char* outcomeName(Outcome o);
 

@@ -176,6 +176,7 @@ DecodedImage decodeImage(const Image& image) {
         case MOp::EmitI: d.kind = DKind::EmitI; break;
         case MOp::Abort: d.kind = DKind::Abort; break;
         case MOp::Barrier: d.kind = DKind::Barrier; break;
+        case MOp::SentinelTrap: d.kind = DKind::SentinelTrap; break;
         }
         df.code.push_back(d);
       }

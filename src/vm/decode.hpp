@@ -55,7 +55,7 @@ enum class DKind : std::uint8_t {
   FBrEq, FBrNe, FBrLt, FBrLe, FBrGt, FBrGe,
   Jmp,
   Call, Ret, MathCall,
-  Emit, EmitI, Abort, Barrier,
+  Emit, EmitI, Abort, Barrier, SentinelTrap,
   /// Sentinel appended one past each function's last real instruction, so
   /// straight-line execution needs no per-instruction bounds check: falling
   /// off the end lands here, and the handler undoes the fetch bookkeeping

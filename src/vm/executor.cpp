@@ -24,6 +24,7 @@ const char* trapKindName(TrapKind k) {
   case TrapKind::Fpe: return "SIGFPE";
   case TrapKind::Abort: return "SIGABRT";
   case TrapKind::BadPC: return "SIGILL";
+  case TrapKind::Sentinel: return "SIGSENT";
   }
   return "?";
 }
@@ -371,6 +372,10 @@ RunResult Executor::runReference() {
     case MOp::EmitI: output_.push_back(g[in.src1]); break;
     case MOp::Abort:
       trapKind = TrapKind::Abort;
+      trapped = true;
+      break;
+    case MOp::SentinelTrap:
+      trapKind = TrapKind::Sentinel;
       trapped = true;
       break;
     case MOp::Barrier:

@@ -21,7 +21,7 @@
 
 namespace care::vm {
 
-enum class TrapKind : std::uint8_t { SegFault, Bus, Fpe, Abort, BadPC };
+enum class TrapKind : std::uint8_t { SegFault, Bus, Fpe, Abort, BadPC, Sentinel };
 
 const char* trapKindName(TrapKind k);
 

@@ -185,7 +185,7 @@ RunResult Executor::runFastImpl(bool* switchVariant) {
       &&L_FBrEq, &&L_FBrNe, &&L_FBrLt, &&L_FBrLe, &&L_FBrGt, &&L_FBrGe,
       &&L_Jmp,
       &&L_Call, &&L_Ret, &&L_MathCall,
-      &&L_Emit, &&L_EmitI, &&L_Abort, &&L_Barrier,
+      &&L_Emit, &&L_EmitI, &&L_Abort, &&L_Barrier, &&L_SentinelTrap,
       &&L_OobGuard,
   };
 
@@ -687,6 +687,10 @@ L_EmitI:
   NEXT();
 L_Abort:
   trapKind = TrapKind::Abort;
+  trapAddr = 0;
+  goto trapped;
+L_SentinelTrap:
+  trapKind = TrapKind::Sentinel;
   trapAddr = 0;
   goto trapped;
 L_Barrier:

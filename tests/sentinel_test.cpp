@@ -1,0 +1,254 @@
+// Sentinel detector subsystem tests: option parsing, IR round-trips of
+// instrumented modules, golden-run noninterference, detection outcomes in
+// injection campaigns, and the byte-stability guarantees of the campaign
+// cache with detectors off (pre-PR golden digests) and on (cache
+// round-trip).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "backend/mir.hpp"
+#include "care/driver.hpp"
+#include "inject/experiment.hpp"
+#include "ir/names.hpp"
+#include "ir/parse.hpp"
+#include "ir/printer.hpp"
+#include "sentinel/sentinel.hpp"
+#include "support/md5.hpp"
+#include "testutil.hpp"
+#include "workloads/workloads.hpp"
+
+namespace care::test {
+namespace {
+
+using workloads::Workload;
+
+// --- option parsing ---------------------------------------------------------
+
+TEST(DetectOptions, ParsesTokens) {
+  EXPECT_FALSE(sentinel::parseDetect("").any());
+  EXPECT_FALSE(sentinel::parseDetect("none").any());
+  EXPECT_FALSE(sentinel::parseDetect("off").any());
+  auto cfc = sentinel::parseDetect("cfc");
+  EXPECT_TRUE(cfc.cfc);
+  EXPECT_FALSE(cfc.addr);
+  auto addr = sentinel::parseDetect("addr");
+  EXPECT_FALSE(addr.cfc);
+  EXPECT_TRUE(addr.addr);
+  auto both = sentinel::parseDetect("cfc,addr");
+  EXPECT_TRUE(both.cfc && both.addr);
+  auto all = sentinel::parseDetect("all");
+  EXPECT_TRUE(all.cfc && all.addr);
+  auto spaced = sentinel::parseDetect(" cfc , addr ");
+  EXPECT_TRUE(spaced.cfc && spaced.addr);
+  EXPECT_THROW(sentinel::parseDetect("bogus"), Error);
+}
+
+// --- instrumentation over the workloads -------------------------------------
+
+std::unique_ptr<ir::Module> buildWorkloadIR(const Workload& w,
+                                            opt::OptLevel level) {
+  auto m = std::make_unique<ir::Module>(w.name);
+  for (const auto& s : w.sources)
+    lang::compileIntoModule(s.content, s.name, *m);
+  ir::verifyOrDie(*m);
+  opt::optimize(*m, level);
+  // Armor re-uniquifies after the optimizer (mem2reg mints fresh .phi
+  // names); mirror that here since the textual parser needs unique names.
+  ir::uniquifyNames(*m);
+  ir::verifyOrDie(*m);
+  return m;
+}
+
+sentinel::DetectOptions bothDetectors() {
+  sentinel::DetectOptions d;
+  d.cfc = d.addr = true;
+  return d;
+}
+
+TEST(Sentinel, InstrumentedModulesRoundTripThroughText) {
+  for (const Workload* w : workloads::allWorkloads()) {
+    for (opt::OptLevel level : {opt::OptLevel::O0, opt::OptLevel::O1}) {
+      auto m = buildWorkloadIR(*w, level);
+      const sentinel::SentinelStats stats =
+          sentinel::runSentinel(*m, bothDetectors());
+      ir::verifyOrDie(*m);
+      EXPECT_FALSE(stats.functions.empty()) << w->name;
+      EXPECT_GT(stats.signatureBlocks(), 0u) << w->name;
+      EXPECT_GT(stats.signatureChecks(), 0u) << w->name;
+      EXPECT_GT(stats.shadowChains(), 0u) << w->name;
+
+      const std::string once = ir::toString(m.get());
+      auto reparsed = ir::parseModule(once);
+      ir::verifyOrDie(*reparsed);
+      EXPECT_EQ(once, ir::toString(reparsed.get()))
+          << w->name << " instrumented IR is not a print->parse fixed point";
+    }
+  }
+}
+
+TEST(Sentinel, GoldenRunUnchangedByDetectors) {
+  for (const Workload* w : workloads::allWorkloads()) {
+    auto plain = buildWorkloadIR(*w, opt::OptLevel::O1);
+    auto armed = buildWorkloadIR(*w, opt::OptLevel::O1);
+    sentinel::runSentinel(*armed, bothDetectors());
+    ir::verifyOrDie(*armed);
+
+    auto run = [&](ir::Module& m) {
+      auto mm = backend::lowerModule(m);
+      auto image = std::make_unique<vm::Image>();
+      image->load(mm.get());
+      image->link();
+      vm::Executor ex(image.get());
+      ex.setBudget(500'000'000);
+      RunOutput out;
+      out.result = vm::runToCompletion(ex, w->entry);
+      out.output = ex.output();
+      return out;
+    };
+    const RunOutput p = run(*plain);
+    const RunOutput s = run(*armed);
+    ASSERT_EQ(p.result.status, vm::RunStatus::Done) << w->name;
+    ASSERT_EQ(s.result.status, vm::RunStatus::Done)
+        << w->name << ": detectors fired on a fault-free run";
+    EXPECT_EQ(p.result.exitCode, s.result.exitCode) << w->name;
+    EXPECT_EQ(p.output, s.output) << w->name;
+    // The instrumentation must actually cost something dynamically —
+    // otherwise it never executed.
+    EXPECT_GT(s.result.instrCount, p.result.instrCount) << w->name;
+  }
+}
+
+TEST(Sentinel, ArmedModulesLowerToSentinelTrapOps) {
+  auto m = buildWorkloadIR(workloads::hpccg(), opt::OptLevel::O0);
+  sentinel::runSentinel(*m, bothDetectors());
+  auto mm = backend::lowerModule(*m);
+  std::size_t traps = 0;
+  for (const backend::MFunction& f : mm->functions)
+    for (const backend::MInst& mi : f.code)
+      if (mi.op == backend::MOp::SentinelTrap) ++traps;
+  EXPECT_GT(traps, 0u);
+  EXPECT_STREQ(vm::trapKindName(vm::TrapKind::Sentinel), "SIGSENT");
+}
+
+TEST(Sentinel, CompileDriverReportsStats) {
+  const Workload& w = workloads::gtcp();
+  core::CompileOptions opts;
+  opts.optLevel = opt::OptLevel::O0;
+  opts.artifactDir = "care_test_artifacts/sentinel_stats";
+  opts.armor.detectAuto = false;
+  core::CompiledModule off = core::careCompile(
+      {{w.sources[0].name, w.sources[0].content}}, "sent_off", opts);
+  EXPECT_TRUE(off.sentinelStats.functions.empty());
+  EXPECT_EQ(off.timings.sentinelSec, 0.0);
+
+  opts.armor.detect = bothDetectors();
+  core::CompiledModule on = core::careCompile(
+      {{w.sources[0].name, w.sources[0].content}}, "sent_on", opts);
+  EXPECT_FALSE(on.sentinelStats.functions.empty());
+  EXPECT_GT(on.sentinelStats.addedInstrs(), 0u);
+}
+
+// --- campaigns --------------------------------------------------------------
+
+inject::ExperimentConfig campaignConfig(const std::string& dir,
+                                        opt::OptLevel level) {
+  inject::ExperimentConfig cfg;
+  cfg.level = level;
+  cfg.seed = 7777;
+  cfg.injections = 60;
+  cfg.cacheDir = dir;
+  cfg.armor.detectAuto = false; // pin: CARE_DETECT must not leak in
+  return cfg;
+}
+
+TEST(Sentinel, CampaignConvertsFailuresToDetected) {
+  const std::string dir = "care_test_artifacts/sentinel_fires";
+  std::filesystem::remove_all(dir);
+  auto cfg = campaignConfig(dir, opt::OptLevel::O0);
+  cfg.careOnSegv = false;
+  cfg.injections = 150;
+  cfg.armor.detect = bothDetectors();
+  const inject::ExperimentResult r =
+      runExperiment(workloads::hpccg(), cfg);
+  EXPECT_GT(r.detectedCount(), 0);
+  for (const inject::InjectionRecord& rec : r.records) {
+    if (rec.plain.outcome == inject::Outcome::Detected) {
+      EXPECT_EQ(rec.plain.signal, vm::TrapKind::Sentinel);
+    }
+  }
+  EXPECT_GT(r.meanDetectionLatencyInstrs(), 0.0);
+}
+
+TEST(Sentinel, DetectorCampaignCacheRoundTrips) {
+  const std::string dir = "care_test_artifacts/sentinel_cache";
+  std::filesystem::remove_all(dir);
+  auto cfg = campaignConfig(dir, opt::OptLevel::O0);
+  cfg.armor.detect = bothDetectors();
+  const auto fresh = runExperiment(workloads::gtcp(), cfg);
+  inject::CampaignTelemetry tel;
+  const auto cached = runExperiment(workloads::gtcp(), cfg, &tel);
+  EXPECT_TRUE(tel.fromCache);
+  EXPECT_EQ(inject::serializeDeterministic(fresh),
+            inject::serializeDeterministic(cached));
+  EXPECT_GT(fresh.detectedCount(), 0);
+}
+
+TEST(Sentinel, ArmedAndDisarmedCampaignsGetDistinctCaches) {
+  const std::string dir = "care_test_artifacts/sentinel_keys";
+  std::filesystem::remove_all(dir);
+  auto off = campaignConfig(dir, opt::OptLevel::O0);
+  auto on = off;
+  on.armor.detect = bothDetectors();
+  runExperiment(workloads::minimd(), off);
+  runExperiment(workloads::minimd(), on);
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".camp") ++files;
+  EXPECT_EQ(files, 2);
+}
+
+// With detectors off, every campaign's deterministic byte stream must be
+// identical to what the pre-detector tree produced — the subsystem is
+// invisible until armed. The digests below were recorded on the commit
+// before the sentinel subsystem landed (seed 7777, 60 injections,
+// careOnSegv on, default Armor knobs).
+TEST(Sentinel, DisarmedCampaignBytesMatchPreDetectorGoldens) {
+  struct Golden {
+    const char* workload;
+    const char* level;
+    const char* md5;
+  };
+  static const Golden kGoldens[] = {
+      {"HPCCG", "O0", "2b3b1682ea0d759bc09ecb5d2f2682e6"},
+      {"HPCCG", "O1", "8fcca3e0527d4f931a193b68e53923cc"},
+      {"CoMD", "O0", "2b20ce1799c85a3f81f4431638d7bbd5"},
+      {"CoMD", "O1", "21dae1c7a1d1a41b80b8a485773374cb"},
+      {"miniFE", "O0", "44a53ea3f411aa1c3748274d35af9f6f"},
+      {"miniFE", "O1", "b4ad7c19989086fcde5757d260e04e08"},
+      {"miniMD", "O0", "ad7b9c0f9a0119e7ade801c9072f05f7"},
+      {"miniMD", "O1", "e314f4815565ca6533037f6e25c4f89f"},
+      {"GTC-P", "O0", "6eb7df44465a9a95447e840922f154a0"},
+      {"GTC-P", "O1", "33bef79c6182a41ae4be19c64b13af89"},
+  };
+  const std::string dir = "care_test_artifacts/sentinel_goldens";
+  std::filesystem::remove_all(dir);
+  for (const Golden& g : kGoldens) {
+    const Workload* w = nullptr;
+    for (const Workload* cand : workloads::allWorkloads())
+      if (cand->name == g.workload) w = cand;
+    ASSERT_NE(w, nullptr) << g.workload;
+    const opt::OptLevel level = std::string(g.level) == "O0"
+                                    ? opt::OptLevel::O0
+                                    : opt::OptLevel::O1;
+    const inject::ExperimentResult r =
+        runExperiment(*w, campaignConfig(dir, level));
+    const std::vector<std::uint8_t> bytes = inject::serializeDeterministic(r);
+    Md5 h;
+    h.update(bytes.data(), bytes.size());
+    EXPECT_EQ(h.finish().hex(), g.md5) << g.workload << " " << g.level;
+  }
+}
+
+} // namespace
+} // namespace care::test

@@ -14,6 +14,7 @@
 #include <cctype>
 #include <cstring>
 
+#include "sentinel/sentinel.hpp"
 #include "support/rng.hpp"
 #include "testutil.hpp"
 #include "workloads/workloads.hpp"
@@ -29,12 +30,19 @@ struct BuildKeep {
   std::unique_ptr<backend::MModule> mMod;
 };
 
-std::unique_ptr<vm::Image> lowerWorkload(const Workload& w, BuildKeep& keep) {
+std::unique_ptr<vm::Image> lowerWorkload(const Workload& w, BuildKeep& keep,
+                                         bool armDetectors = false) {
   keep.irMod = std::make_unique<ir::Module>(w.name);
   for (const auto& s : w.sources)
     lang::compileIntoModule(s.content, s.name, *keep.irMod);
   ir::verifyOrDie(*keep.irMod);
   opt::optimize(*keep.irMod, opt::OptLevel::O0);
+  if (armDetectors) {
+    sentinel::DetectOptions det;
+    det.cfc = det.addr = true;
+    sentinel::runSentinel(*keep.irMod, det);
+    ir::verifyOrDie(*keep.irMod);
+  }
   keep.mMod = backend::lowerModule(*keep.irMod);
   auto image = std::make_unique<vm::Image>();
   image->load(keep.mMod.get());
@@ -105,6 +113,29 @@ TEST_P(WorkloadDiff, GoldenRunBitIdentical) {
   expectSameResult(rr, fr, w.name);
   expectSameMachine(ref, fast, w.name);
   expectSameProfile(*image, ref, fast, w.name);
+}
+
+// Sentinel-instrumented code (signature cells, shadow address chains, the
+// SentinelTrap op itself) must execute identically under both loops.
+TEST_P(WorkloadDiff, DetectorsArmedGoldenRunBitIdentical) {
+  const Workload& w = *GetParam();
+  BuildKeep keep;
+  const auto image = lowerWorkload(w, keep, /*armDetectors=*/true);
+
+  vm::Executor ref(image.get());
+  ref.enableProfiling();
+  ref.setBudget(500'000'000);
+  const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
+  ASSERT_EQ(rr.status, vm::RunStatus::Done) << w.name;
+
+  vm::Executor fast(image.get());
+  fast.enableProfiling();
+  fast.setBudget(500'000'000);
+  const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
+
+  expectSameResult(rr, fr, w.name + " (detectors)");
+  expectSameMachine(ref, fast, w.name + " (detectors)");
+  expectSameProfile(*image, ref, fast, w.name + " (detectors)");
 }
 
 TEST_P(WorkloadDiff, BudgetCappedRunStopsIdentically) {

@@ -21,6 +21,7 @@
 #include "inject/experiment.hpp"
 #include "ir/printer.hpp"
 #include "ir/serialize.hpp"
+#include "sentinel/sentinel.hpp"
 #include "support/rng.hpp"
 #include "support/trace.hpp"
 
@@ -40,6 +41,8 @@ struct Args {
   std::uint64_t ckptInterval = inject::CampaignConfig::kCkptAuto;
   bool withCare = true;
   bool inductionRecovery = false;
+  bool detectGiven = false; // --detect pins the config (CARE_DETECT ignored)
+  sentinel::DetectOptions detect;
 };
 
 void usage() {
@@ -60,6 +63,10 @@ void usage() {
                "                     the big-switch reference, bit-identical)\n"
                "  --no-care          inject without Safeguard attached\n"
                "  --iv-recovery      enable the Fig. 11 extension\n"
+               "  --detect=<list>    arm Sentinel detectors: comma list of\n"
+               "                     cfc (control-flow signatures) and addr\n"
+               "                     (address-chain duplication), or all /\n"
+               "                     none; overrides CARE_DETECT\n"
                "  --trace=<file>     write a Chrome trace-event JSON of the\n"
                "                     recovery/campaign phases (%%p expands to\n"
                "                     the PID; CARE_TRACE=<file> does the same\n"
@@ -79,6 +86,10 @@ core::CompiledModule compileFile(const Args& a) {
   opts.optLevel = a.level;
   opts.artifactDir = a.artifactDir;
   opts.armor.inductionRecovery = a.inductionRecovery;
+  if (a.detectGiven) {
+    opts.armor.detect = a.detect;
+    opts.armor.detectAuto = false;
+  }
   return core::careCompile({{a.file, slurp(a.file)}}, "app", opts);
 }
 
@@ -90,8 +101,17 @@ int cmdCompile(const Args& a) {
   std::printf("  memory accesses      : %zu\n", cm.armorStats.memAccesses);
   std::printf("  recovery kernels     : %zu (avg %.1f IR instrs)\n",
               cm.armorStats.kernelsBuilt, cm.armorStats.avgKernelInstrs());
+  if (!cm.sentinelStats.functions.empty()) {
+    std::printf("  sentinel added instrs: %zu (%zu signature blocks, "
+                "%zu shadow chains)\n",
+                cm.sentinelStats.addedInstrs(),
+                cm.sentinelStats.signatureBlocks(),
+                cm.sentinelStats.shadowChains());
+  }
   std::printf("  normal compile time  : %.4f s\n", cm.timings.normalSec);
   std::printf("  Armor overhead       : %.4f s\n", cm.timings.armorSec);
+  if (cm.timings.sentinelSec > 0)
+    std::printf("  Sentinel overhead    : %.4f s\n", cm.timings.sentinelSec);
   std::printf("  recovery table       : %s\n", cm.artifacts.tablePath.c_str());
   std::printf("  recovery library     : %s\n", cm.artifacts.libPath.c_str());
   return 0;
@@ -140,6 +160,21 @@ int cmdInspect(const Args& a) {
               kernels->numFunctions());
   for (const ir::Function* f : *kernels)
     if (!f->isDeclaration()) std::printf("%s\n", ir::toString(f).c_str());
+  if (!cm.sentinelStats.functions.empty()) {
+    std::printf("=== sentinel instrumentation ===\n");
+    std::printf("%-24s %10s %8s %8s %8s\n", "function", "sig-blocks",
+                "checks", "chains", "added");
+    for (const sentinel::FunctionSentinelStats& fs :
+         cm.sentinelStats.functions)
+      std::printf("%-24s %10zu %8zu %8zu %8zu\n", fs.function.c_str(),
+                  fs.signatureBlocks, fs.signatureChecks, fs.shadowChains,
+                  fs.addedInstrs);
+    std::printf("%-24s %10zu %8zu %8zu %8zu\n", "(total)",
+                cm.sentinelStats.signatureBlocks(),
+                cm.sentinelStats.signatureChecks(),
+                cm.sentinelStats.shadowChains(),
+                cm.sentinelStats.addedInstrs());
+  }
   return 0;
 }
 
@@ -187,7 +222,8 @@ int cmdInject(const Args& a) {
   tel.ckptCount = campaign.checkpoints().size();
   inject::publishTelemetry(tel);
 
-  int benign = 0, sdc = 0, hang = 0, segv = 0, otherSig = 0, recovered = 0;
+  int benign = 0, sdc = 0, hang = 0, segv = 0, otherSig = 0, detected = 0,
+      recovered = 0;
   double recoveryUs = 0;
   for (const inject::InjectionRecord& rec : records) {
     const inject::InjectionResult& r = rec.plain;
@@ -195,6 +231,7 @@ int cmdInject(const Args& a) {
     case inject::Outcome::Benign: ++benign; break;
     case inject::Outcome::SDC: ++sdc; break;
     case inject::Outcome::Hang: ++hang; break;
+    case inject::Outcome::Detected: ++detected; break;
     case inject::Outcome::SoftFailure:
       if (r.signal == vm::TrapKind::SegFault) ++segv;
       else ++otherSig;
@@ -213,6 +250,9 @@ int cmdInject(const Args& a) {
   std::printf("SIGSEGV    : %d%s\n", segv,
               a.withCare ? " (surviving faults counted as benign/SDC)" : "");
   std::printf("other sig  : %d\n", otherSig);
+  if (detected || tel.detected)
+    std::printf("detected   : %d (sentinel, avg latency %.1f instrs)\n",
+                detected, tel.detectLatencyInstrs);
   if (a.withCare) {
     std::printf("recovered  : %d (avg %.1f us per recovery)\n", recovered,
                 recovered ? recoveryUs / recovered : 0.0);
@@ -254,6 +294,15 @@ int main(int argc, char** argv) {
       a.ckptInterval = std::strtoull(next().c_str(), nullptr, 10);
     else if (s == "--interp=ref") vm::setDefaultInterp(vm::InterpKind::Ref);
     else if (s == "--interp=fast") vm::setDefaultInterp(vm::InterpKind::Fast);
+    else if (s.rfind("--detect=", 0) == 0) {
+      a.detectGiven = true;
+      try {
+        a.detect = sentinel::parseDetect(s.substr(std::strlen("--detect=")));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (s.rfind("--trace=", 0) == 0)
       trace::enable(s.substr(std::strlen("--trace=")));
     else if (s == "--trace") trace::enable(next());
