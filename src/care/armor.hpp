@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "care/recovery_strategy.hpp"
 #include "care/recovery_table.hpp"
 #include "ir/module.hpp"
 #include "sentinel/sentinel.hpp"
@@ -39,6 +40,17 @@ struct ArmorOptions {
   bool detectAuto = true;
   sentinel::DetectOptions resolvedDetect() const {
     return detectAuto ? sentinel::detectFromEnv(detect) : detect;
+  }
+  /// Safeguard recovery policy (DESIGN.md §4f). A runtime knob rather than
+  /// a compile-time one, but it rides in ArmorOptions so every consumer of
+  /// the armor ablation plumbing (experiment cache key, carecc, benches)
+  /// picks it up the same way `detect` is picked up.
+  RecoveryStrategy recover = RecoveryStrategy::Repair;
+  /// When true (the default) CARE_RECOVER, if set, overrides `recover`.
+  /// Tests and benches pin this to false to shield their expectations.
+  bool recoverAuto = true;
+  RecoveryStrategy resolvedRecover() const {
+    return recoverAuto ? recoverFromEnv(recover) : recover;
   }
 };
 

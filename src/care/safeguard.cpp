@@ -1,10 +1,12 @@
 #include "care/safeguard.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "care/kernel_interp.hpp"
 #include "ir/serialize.hpp"
 #include "support/trace.hpp"
+#include "vm/checkpoint_ring.hpp"
 
 namespace care::core {
 
@@ -44,6 +46,10 @@ const char* failCodeName(FailCode c) {
   case FailCode::SdcGuardTripped:
     return "recomputed address equals faulting address";
   case FailCode::NoPatchableOperand: return "no patchable address operand";
+  case FailCode::RecoveryDisabled: return "recovery disabled by strategy";
+  case FailCode::NoCheckpointForRollback:
+    return "no checkpoint available for rollback";
+  case FailCode::RollbackLimitReached: return "rollback limit reached";
   }
   return "?";
 }
@@ -64,23 +70,6 @@ void Safeguard::pushRecord(RecoveryRecord&& rec) {
     return;
   }
   stats_.records.push_back(std::move(rec));
-}
-
-TrapAction Safeguard::fail(FailCode code, std::string reason,
-                           RecoveryRecord&& rec, Clock::time_point t0,
-                           const Trap& trap) {
-  rec.recovered = false;
-  rec.failCode = code;
-  rec.failReason = std::move(reason);
-  rec.pc = trap.pc;
-  rec.faultAddr = trap.addr;
-  const auto tEnd = Clock::now();
-  rec.totalUs = usSince(t0, tEnd);
-  trace::span("safeguard.onTrap", "safeguard", t0, tEnd);
-  trace::instant(failCodeName(code), "safeguard.fail");
-  stats_.failures[failCodeName(code)]++;
-  pushRecord(std::move(rec));
-  return TrapAction::Propagate;
 }
 
 bool patchAddressOperand(vm::MachineState& st, const MemRef& mem,
@@ -122,29 +111,25 @@ bool patchAddressOperand(vm::MachineState& st, const MemRef& mem,
   return patched;
 }
 
-TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
-  // CARE targets invalid-memory-access errors (SIGSEGV); everything else
-  // propagates to the default handler (paper §3).
-  if (trap.kind != TrapKind::SegFault) return TrapAction::Propagate;
-  stats_.activations++;
-  const auto t0 = Clock::now();
-  RecoveryRecord rec;
-  rec.pc = trap.pc;
-  rec.faultAddr = trap.addr;
+bool Safeguard::tryRepair(vm::Executor& ex, const Trap& trap,
+                          RecoveryRecord& rec, Clock::time_point t0) {
+  auto failWith = [&](FailCode code, std::string reason) {
+    rec.failCode = code;
+    rec.failReason = std::move(reason);
+    return false;
+  };
 
   // --- phase 1: keying — PC -> module -> (file,line,col) -> MD5 key ------
   const vm::Image& image = *ex.image();
   const vm::CodeLoc loc = image.locate(trap.pc);
   if (!loc.valid())
-    return fail(FailCode::PcNotInModule, "pc not in any module",
-                std::move(rec), t0, trap);
+    return failWith(FailCode::PcNotInModule, "pc not in any module");
 
   // dladdr step: per-module artifacts (app keyed by absolute PC range,
   // libraries by their own base — both implicit in the module lookup).
   auto ait = modules_.find(loc.module);
   if (ait == modules_.end())
-    return fail(FailCode::ModuleNotCompiled, "module not CARE-compiled",
-                std::move(rec), t0, trap);
+    return failWith(FailCode::ModuleNotCompiled, "module not CARE-compiled");
 
   const MFunction& fn = image.function(loc);
   // A corrupt or hand-built image may carry a line table shorter than the
@@ -152,18 +137,15 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   // of indexing out of range.
   if (loc.instr < 0 ||
       static_cast<std::size_t>(loc.instr) >= fn.lineTable.size())
-    return fail(FailCode::NoDebugLoc, "no debug location", std::move(rec),
-                t0, trap);
+    return failWith(FailCode::NoDebugLoc, "no debug location");
   const ir::DebugLoc dl =
       fn.lineTable[static_cast<std::size_t>(loc.instr)];
   if (!dl.valid())
-    return fail(FailCode::NoDebugLoc, "no debug location", std::move(rec),
-                t0, trap);
+    return failWith(FailCode::NoDebugLoc, "no debug location");
   const auto& files = image.module(static_cast<std::size_t>(loc.module))
                           .mod->files;
   if (dl.file == 0 || dl.file > files.size())
-    return fail(FailCode::BadDebugFileId, "bad debug file id",
-                std::move(rec), t0, trap);
+    return failWith(FailCode::BadDebugFileId, "bad debug file id");
   const std::uint64_t key =
       recoveryKey(files[dl.file - 1], dl.line, dl.col);
   const auto tKey = Clock::now();
@@ -183,8 +165,7 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       fresh.table = RecoveryTable::readFile(ait->second.tablePath);
       fresh.lib = ir::readModuleFile(ait->second.libPath);
     } catch (const Error&) {
-      return fail(FailCode::ArtifactLoadFailed, "artifact load failed",
-                  std::move(rec), t0, trap);
+      return failWith(FailCode::ArtifactLoadFailed, "artifact load failed");
     }
     arts = &loaded_.emplace(loc.module, std::move(fresh)).first->second;
   }
@@ -195,14 +176,12 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   const RecoveryEntry* entry = arts->table.find(key);
   if (!entry) {
     release();
-    return fail(FailCode::NoKernelForKey, "no recovery kernel for key",
-                std::move(rec), t0, trap);
+    return failWith(FailCode::NoKernelForKey, "no recovery kernel for key");
   }
   const ir::Function* kernel = arts->lib->findFunction(entry->symbol);
   if (!kernel) {
     release();
-    return fail(FailCode::KernelSymbolMissing, "kernel symbol missing",
-                std::move(rec), t0, trap);
+    return failWith(FailCode::KernelSymbolMissing, "kernel symbol missing");
   }
   const auto tLoad = Clock::now();
   rec.loadUs = usSince(tKey, tLoad);
@@ -213,9 +192,8 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   const MInst& inst = image.instruction(loc);
   if (!inst.accessesMemory()) {
     release();
-    return fail(FailCode::NoMemoryOperand,
-                "faulting instruction has no memory operand", std::move(rec),
-                t0, trap);
+    return failWith(FailCode::NoMemoryOperand,
+                    "faulting instruction has no memory operand");
   }
   const MemRef& mem = inst.mem;
   const auto& lm = image.module(static_cast<std::size_t>(loc.module));
@@ -273,8 +251,8 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       }
       if (!found) {
         release();
-        return fail(FailCode::GlobalParamMissing,
-                    "global parameter not found", std::move(rec), t0, trap);
+        return failWith(FailCode::GlobalParamMissing,
+                        "global parameter not found");
       }
       continue;
     }
@@ -302,8 +280,7 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       // release() frees the table entry `p` lives in.)
       std::string reason = "parameter location unavailable: " + p.name;
       release();
-      return fail(FailCode::ParamUnavailable, std::move(reason),
-                  std::move(rec), t0, trap);
+      return failWith(FailCode::ParamUnavailable, std::move(reason));
     }
     if (haveAlt && altValue != v)
       altArgs.push_back({args.size(), altValue});
@@ -319,9 +296,8 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   if (!kres.ok) {
     rec.kernelUs = usSince(tParam, Clock::now());
     release();
-    return fail(FailCode::KernelFailed,
-                std::string("kernel failed: ") + kres.error, std::move(rec),
-                t0, trap);
+    return failWith(FailCode::KernelFailed,
+                    std::string("kernel failed: ") + kres.error);
   }
   std::uint64_t newAddr = kres.value;
   bool usedIvAlt = false;
@@ -341,16 +317,14 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
       if (retry.ok && retry.value != trap.addr) {
         newAddr = retry.value;
         usedIvAlt = true;
-        stats_.ivAltRecoveries++;
         break;
       }
     }
     if (!usedIvAlt) {
       rec.kernelUs = usSince(tParam, Clock::now());
       release();
-      return fail(FailCode::SdcGuardTripped,
-                  "recomputed address equals faulting address",
-                  std::move(rec), t0, trap);
+      return failWith(FailCode::SdcGuardTripped,
+                      "recomputed address equals faulting address");
     }
   }
   const auto tKern = Clock::now();
@@ -371,21 +345,122 @@ TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   trace::span("safeguard.patch", "safeguard", tKern, tPatch);
   if (!patched) {
     release();
-    return fail(FailCode::NoPatchableOperand, "no patchable address operand",
-                std::move(rec), t0, trap);
+    return failWith(FailCode::NoPatchableOperand,
+                    "no patchable address operand");
   }
 
-  rec.recovered = true;
   rec.usedIvAlt = usedIvAlt;
   rec.patchedAddr = newAddr;
   release();
+  return true;
+}
+
+bool Safeguard::tryRollback(vm::Executor& ex, RecoveryRecord& rec) {
+  // repair_then_rollback keeps the (more specific) repair fail code and
+  // appends the rollback verdict to the text. Rollback-only records arrive
+  // holding the placeholder RecoveryDisabled code ("repair disabled by
+  // strategy"); the rollback verdict replaces that code, since no repair
+  // was ever attempted.
+  auto failWith = [&](FailCode code, const char* reason) {
+    if (rec.failReason.empty()) {
+      rec.failCode = code;
+      rec.failReason = reason;
+      return false;
+    }
+    if (rec.failCode == FailCode::RecoveryDisabled) rec.failCode = code;
+    rec.failReason += std::string("; rollback: ") + reason;
+    return false;
+  };
+  const auto t0 = Clock::now();
+  if (!ring_)
+    return failWith(FailCode::NoCheckpointForRollback,
+                    "no checkpoint ring armed");
+  if (rollbackCount_ >= maxRollbacks_)
+    return failWith(FailCode::RollbackLimitReached, "rollback limit reached");
+  // The floor makes restore targets strictly decrease across activations:
+  // a contaminated checkpoint whose re-execution traps again is never
+  // retried; the cascade marches toward the pinned entry state.
+  const std::uint64_t faultCount = ex.instrCount();
+  const std::uint64_t ceiling = std::min(faultCount, rollbackFloor_);
+  const vm::Executor::ResumePoint* rp = ring_->latestBefore(ceiling);
+  if (!rp)
+    return failWith(FailCode::NoCheckpointForRollback,
+                    "no checkpoint below the fault");
+  const auto tSelect = Clock::now();
+  trace::span("safeguard.rollback.select", "safeguard", t0, tSelect);
+
+  rec.rollbackToInstr = rp->instrCount;
+  rec.discardedInstrs = faultCount - rp->instrCount;
+  rollbackFloor_ = rp->instrCount;
+  ++rollbackCount_;
+  const std::uint64_t target = rp->instrCount;
+  // Output is preserved: emitted values were externalized and cannot be
+  // unwound; the re-execution re-emits, and the SDC comparison honestly
+  // sees escaped corruption and duplicates (DESIGN.md §4f).
+  ex.restoreCheckpoint(*rp, /*preserveOutput=*/true);
+  // Checkpoints past the restore target describe the discarded execution
+  // (possibly contaminated); dropping them invalidates `rp`, hence the
+  // saved `target`.
+  ring_->dropAfter(target);
+  const auto tEnd = Clock::now();
+  rec.rollbackUs = usSince(t0, tEnd);
+  trace::span("safeguard.rollback.restore", "safeguard", tSelect, tEnd);
+  return true;
+}
+
+TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
+  // CARE targets invalid-memory-access errors (SIGSEGV); everything else
+  // propagates to the default handler (paper §3).
+  if (trap.kind != TrapKind::SegFault) return TrapAction::Propagate;
+  const auto t0 = Clock::now();
+  RecoveryRecord rec;
+  rec.pc = trap.pc;
+  rec.faultAddr = trap.addr;
+
+  bool repaired = false;
+  if (strategyRepairs(strategy_)) {
+    repaired = tryRepair(ex, trap, rec, t0);
+  } else {
+    rec.failCode = FailCode::RecoveryDisabled;
+    rec.failReason = strategy_ == RecoveryStrategy::Rollback
+                         ? "repair disabled by strategy"
+                         : "recovery disabled by strategy";
+  }
+  bool rolledBack = false;
+  if (!repaired && strategyRollsBack(strategy_))
+    rolledBack = tryRollback(ex, rec);
+
+  // --- outcome commit -----------------------------------------------------
+  // Every stats_ mutation happens here, after the strategy decision is
+  // final. (Previously activations and ivAltRecoveries were bumped
+  // mid-flight, before any outcome existed, so an attempt abandoned by a
+  // later decision point would have recorded a recovery that never
+  // happened; safeguard_test pins the per-strategy invariants.)
   const auto tEnd = Clock::now();
   rec.totalUs = usSince(t0, tEnd);
   trace::span("safeguard.onTrap", "safeguard", t0, tEnd);
-  stats_.recovered++;
-  trace::counter("safeguard.recovered", static_cast<double>(stats_.recovered));
+  ++stats_.activations;
+  if (repaired) {
+    rec.recovered = true;
+    ++stats_.recovered;
+    if (rec.usedIvAlt) ++stats_.ivAltRecoveries;
+    trace::counter("safeguard.recovered",
+                   static_cast<double>(stats_.recovered));
+    pushRecord(std::move(rec));
+    return TrapAction::Retry;
+  }
+  if (rolledBack) {
+    rec.rolledBack = true;
+    ++stats_.rollbacks;
+    trace::counter("safeguard.rollbacks",
+                   static_cast<double>(stats_.rollbacks));
+    pushRecord(std::move(rec));
+    return TrapAction::Retry;
+  }
+  stats_.failures[failCodeName(rec.failCode)]++;
+  trace::instant(failCodeName(rec.failCode), "safeguard.fail");
   pushRecord(std::move(rec));
-  return TrapAction::Retry;
+  return TrapAction::Propagate;
 }
 
 } // namespace care::core

@@ -28,9 +28,14 @@
 #include <string>
 #include <vector>
 
+#include "care/recovery_strategy.hpp"
 #include "care/recovery_table.hpp"
 #include "ir/module.hpp"
 #include "vm/executor.hpp"
+
+namespace care::vm {
+class CheckpointRing;
+}
 
 namespace care::core {
 
@@ -58,6 +63,9 @@ enum class FailCode : std::uint8_t {
   KernelFailed,
   SdcGuardTripped,
   NoPatchableOperand,
+  RecoveryDisabled,         // strategy forbids both repair and rollback
+  NoCheckpointForRollback,  // no ring armed / no checkpoint below the fault
+  RollbackLimitReached,     // maxRollbacks cap hit
 };
 
 /// Stable human-readable name for `c` (a string literal; also the
@@ -73,7 +81,8 @@ const char* failCodeName(FailCode c);
 struct RecoveryRecord {
   bool recovered = false;
   FailCode failCode = FailCode::PcNotInModule; // valid when !recovered
-  std::string failReason;        // empty when recovered; detailed text
+  std::string failReason;        // empty when recovered; on a rolled-back
+                                 // record: why repair did not handle it
   double totalUs = 0;            // wall time of the whole activation
   double keyUs = 0;              // PC -> module -> (file,line,col) -> key
   double loadUs = 0;             // lazy table/library load + kernel lookup
@@ -84,11 +93,19 @@ struct RecoveryRecord {
   std::uint64_t pc = 0;
   std::uint64_t faultAddr = 0;
   std::uint64_t patchedAddr = 0;
+  // Rollback-domain recovery (DESIGN.md §4f): set when the activation
+  // ended in a checkpoint restore instead of (or after a failed) repair.
+  bool rolledBack = false;
+  std::uint64_t rollbackToInstr = 0; // restored checkpoint's instrCount
+  std::uint64_t discardedInstrs = 0; // fault instrCount - rollbackToInstr:
+                                     // work the re-execution must redo
+  double rollbackUs = 0;             // checkpoint selection + CoW restore
 };
 
 struct SafeguardStats {
   std::uint64_t activations = 0;
   std::uint64_t recovered = 0;
+  std::uint64_t rollbacks = 0;       // checkpoint restores performed
   std::uint64_t ivAltRecoveries = 0; // Fig. 11 extension successes
   std::uint64_t droppedRecords = 0;  // activations past the maxRecords cap
   std::map<std::string, std::uint64_t> failures; // failCodeName -> count
@@ -117,6 +134,23 @@ public:
   /// Safeguard's memory stays bounded.
   void setMaxRecords(std::size_t n) { maxRecords_ = n; }
 
+  /// Recovery policy for onTrap (DESIGN.md §4f). Default: the paper's
+  /// kernel repair only.
+  void setStrategy(RecoveryStrategy s) { strategy_ = s; }
+  RecoveryStrategy strategy() const { return strategy_; }
+
+  /// Arm checkpoint rollback with `ring` (not owned; must outlive the
+  /// executor's run). Without a ring, rollback strategies fail with
+  /// FailCode::NoCheckpointForRollback. Restore targets march strictly
+  /// backwards across activations (a restored-to checkpoint is never
+  /// restored past again), so a contaminated checkpoint that re-traps
+  /// cascades toward the pinned entry state and the cascade terminates.
+  void setRollbackSource(vm::CheckpointRing* ring) { ring_ = ring; }
+
+  /// Backstop on total rollbacks per Safeguard (the floor already bounds
+  /// them by the ring size).
+  void setMaxRollbacks(std::uint32_t n) { maxRollbacks_ = n; }
+
   /// Install as `ex`'s trap hook. The Safeguard must outlive the executor's
   /// run.
   void attach(vm::Executor& ex);
@@ -130,9 +164,15 @@ private:
   };
 
   vm::TrapAction onTrap(vm::Executor& ex, const vm::Trap& trap);
-  vm::TrapAction fail(FailCode code, std::string reason, RecoveryRecord&& rec,
-                      std::chrono::steady_clock::time_point t0,
-                      const vm::Trap& trap);
+  /// Phases 1-5 of Algorithm 1. Fills `rec`'s phase timings and, on
+  /// failure, failCode/failReason; mutates no stats (the caller commits
+  /// the outcome). Returns true iff the machine state was patched.
+  bool tryRepair(vm::Executor& ex, const vm::Trap& trap, RecoveryRecord& rec,
+                 std::chrono::steady_clock::time_point t0);
+  /// Restore the latest eligible ring checkpoint below both the fault and
+  /// the rollback floor. Fills the rollback fields of `rec`; mutates no
+  /// stats. Returns true iff the executor was rewound.
+  bool tryRollback(vm::Executor& ex, RecoveryRecord& rec);
   void pushRecord(RecoveryRecord&& rec);
 
   std::map<std::int32_t, ModuleArtifacts> modules_;
@@ -140,6 +180,13 @@ private:
   bool cacheArtifacts_ = false;
   PatchTarget patchTarget_ = PatchTarget::IndexFirst;
   std::size_t maxRecords_ = 65536;
+  RecoveryStrategy strategy_ = RecoveryStrategy::Repair;
+  vm::CheckpointRing* ring_ = nullptr;
+  std::uint32_t maxRollbacks_ = 32;
+  std::uint32_t rollbackCount_ = 0;
+  /// Strictly-decreasing ceiling on restore targets (see
+  /// setRollbackSource).
+  std::uint64_t rollbackFloor_ = ~0ull;
   SafeguardStats stats_;
 };
 

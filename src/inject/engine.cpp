@@ -96,6 +96,11 @@ std::string CampaignTelemetry::json() const {
   jsonField(out, "detect_latency_instrs", "%.1f,", detectLatencyInstrs);
   jsonField(out, "recoveries", "%llu,",
             static_cast<unsigned long long>(recoveries));
+  jsonField(out, "rollbacks", "%llu,",
+            static_cast<unsigned long long>(rollbacks));
+  jsonField(out, "rollback_reexec_instrs", "%llu,",
+            static_cast<unsigned long long>(rollbackReexecInstrs));
+  jsonField(out, "rollback_us", "%.3f,", rollbackUs);
   out += "\"recovery_phase_us\":{";
   jsonField(out, "key", "%.3f,", recKeyUs);
   jsonField(out, "artifact_load", "%.3f,", recLoadUs);
@@ -243,6 +248,9 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
         saved += rec.withCare.replaySavedInstrs;
         // Fig. 9 phase aggregate over the CARE re-run's activations.
         if (rec.withCare.careRecovered) ++telemetry->recoveries;
+        telemetry->rollbacks += rec.withCare.rollbacks;
+        telemetry->rollbackReexecInstrs += rec.withCare.rollbackReexecInstrs;
+        telemetry->rollbackUs += rec.withCare.rollbackUsTotal;
         telemetry->recKeyUs += rec.withCare.keyUsTotal;
         telemetry->recLoadUs += rec.withCare.loadUsTotal;
         telemetry->recParamUs += rec.withCare.paramUsTotal;

@@ -65,6 +65,10 @@ struct CampaignTelemetry {
   int detected = 0;
   double detectLatencyInstrs = 0;
   std::uint64_t recoveries = 0; // trials whose CARE re-run recovered
+  // Rollback-domain recovery (DESIGN.md §4f); all zero under repair-only.
+  std::uint64_t rollbacks = 0;  // checkpoint restores across CARE re-runs
+  std::uint64_t rollbackReexecInstrs = 0; // instructions re-executed
+  double rollbackUs = 0;        // checkpoint selection + restore wall time
   double recKeyUs = 0;          // PC -> key mapping
   double recLoadUs = 0;         // lazy artifact load + kernel lookup
   double recParamUs = 0;        // operand disassembly + parameter fetch

@@ -13,7 +13,7 @@ namespace care::inject {
 namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
-constexpr std::uint32_t kCacheVersion = 8; // v8: recovery phase timings
+constexpr std::uint32_t kCacheVersion = 9; // v9: rollback recovery fields
 /// Folded into the cache key only when Sentinel detectors are armed, so
 /// detector-off campaigns keep their pre-Sentinel paths and bytes while
 /// armed campaigns can never collide with stale detector-free entries.
@@ -21,11 +21,14 @@ constexpr std::uint64_t kSentinelCacheVersion = 1;
 
 std::string cachePath(const std::string& workload,
                       const ExperimentConfig& cfg,
-                      std::uint64_t ckptInterval) {
+                      std::uint64_t ckptInterval,
+                      core::RecoveryStrategy recover,
+                      std::uint64_t rollbackRingCap) {
   // cfg.threads is deliberately absent: the engine guarantees identical
   // records for every worker count, so serial- and parallel-written
   // campaigns share one cache entry. The resolved replay-cache interval is
-  // included (see ExperimentConfig::ckptInterval).
+  // included (see ExperimentConfig::ckptInterval), as are the resolved
+  // recovery strategy and ring capacity — those change trial semantics.
   Md5 h;
   h.update(workload);
   h.update(cfg.level == opt::OptLevel::O0 ? "O0" : "O1");
@@ -37,6 +40,8 @@ std::string cachePath(const std::string& workload,
                                 cfg.patchBaseFirst ? 1u : 0u,
                                 cfg.armor.inductionRecovery ? 1u : 0u,
                                 ckptInterval,
+                                static_cast<std::uint64_t>(recover),
+                                rollbackRingCap,
                                 kCacheVersion};
   h.update(nums, sizeof(nums));
   if (const sentinel::DetectOptions det = cfg.armor.resolvedDetect();
@@ -50,6 +55,44 @@ std::string cachePath(const std::string& workload,
          h.finish().hex().substr(0, 12) + ".camp";
 }
 
+void putInjectionResult(const InjectionResult& ir, ByteWriter& w,
+                        bool withTimings) {
+  w.u8(static_cast<std::uint8_t>(ir.outcome));
+  w.u8(static_cast<std::uint8_t>(ir.signal));
+  w.u64(ir.latencyInstrs);
+  w.u64(ir.instrsExecuted);
+  w.u8(ir.injected ? 1 : 0);
+  w.u8(ir.survived ? 1 : 0);
+  w.u8(ir.careRecovered ? 1 : 0);
+  w.u64(ir.safeguardActivations);
+  w.u64(ir.ivAltRecoveries);
+  w.u64(ir.rollbacks);
+  w.u64(ir.rollbackReexecInstrs);
+  if (withTimings) {
+    w.f64(ir.recoveryUsTotal);
+    w.f64(ir.kernelUsTotal);
+    w.f64(ir.keyUsTotal);
+    w.f64(ir.loadUsTotal);
+    w.f64(ir.paramUsTotal);
+    w.f64(ir.patchUsTotal);
+    w.f64(ir.rollbackUsTotal);
+  }
+  w.u8(ir.outputMatchesGolden ? 1 : 0);
+  w.str(ir.careFailReason);
+}
+
+void putRecord(const InjectionRecord& rec, ByteWriter& w, bool withTimings) {
+  w.u32(static_cast<std::uint32_t>(rec.point.loc.module));
+  w.u32(static_cast<std::uint32_t>(rec.point.loc.func));
+  w.u32(static_cast<std::uint32_t>(rec.point.loc.instr));
+  w.u64(rec.point.nth);
+  w.u32(static_cast<std::uint32_t>(rec.point.bits.size()));
+  for (unsigned b : rec.point.bits) w.u32(b);
+  putInjectionResult(rec.plain, w, withTimings);
+  w.u8(rec.haveCare ? 1 : 0);
+  if (rec.haveCare) putInjectionResult(rec.withCare, w, withTimings);
+}
+
 /// Serialize `r` into `w`. `withTimings` selects the on-disk cache format
 /// (wall-clock fields included) vs. the deterministic projection that the
 /// parallel ≡ serial guarantee is stated over.
@@ -61,38 +104,8 @@ void serializeResult(const ExperimentResult& r, ByteWriter& w,
   w.u8(r.level == opt::OptLevel::O0 ? 0 : 1);
   w.u64(r.goldenInstrs);
   w.u32(static_cast<std::uint32_t>(r.records.size()));
-  auto putResult = [&](const InjectionResult& ir) {
-    w.u8(static_cast<std::uint8_t>(ir.outcome));
-    w.u8(static_cast<std::uint8_t>(ir.signal));
-    w.u64(ir.latencyInstrs);
-    w.u64(ir.instrsExecuted);
-    w.u8(ir.injected ? 1 : 0);
-    w.u8(ir.survived ? 1 : 0);
-    w.u8(ir.careRecovered ? 1 : 0);
-    w.u64(ir.safeguardActivations);
-    w.u64(ir.ivAltRecoveries);
-    if (withTimings) {
-      w.f64(ir.recoveryUsTotal);
-      w.f64(ir.kernelUsTotal);
-      w.f64(ir.keyUsTotal);
-      w.f64(ir.loadUsTotal);
-      w.f64(ir.paramUsTotal);
-      w.f64(ir.patchUsTotal);
-    }
-    w.u8(ir.outputMatchesGolden ? 1 : 0);
-    w.str(ir.careFailReason);
-  };
-  for (const InjectionRecord& rec : r.records) {
-    w.u32(static_cast<std::uint32_t>(rec.point.loc.module));
-    w.u32(static_cast<std::uint32_t>(rec.point.loc.func));
-    w.u32(static_cast<std::uint32_t>(rec.point.loc.instr));
-    w.u64(rec.point.nth);
-    w.u32(static_cast<std::uint32_t>(rec.point.bits.size()));
-    for (unsigned b : rec.point.bits) w.u32(b);
-    putResult(rec.plain);
-    w.u8(rec.haveCare ? 1 : 0);
-    if (rec.haveCare) putResult(rec.withCare);
-  }
+  for (const InjectionRecord& rec : r.records)
+    putRecord(rec, w, withTimings);
 }
 
 void writeResult(const ExperimentResult& r, const std::string& path) {
@@ -122,12 +135,15 @@ std::optional<ExperimentResult> readResult(const std::string& path) {
       ir.careRecovered = r.u8() != 0;
       ir.safeguardActivations = r.u64();
       ir.ivAltRecoveries = r.u64();
+      ir.rollbacks = r.u64();
+      ir.rollbackReexecInstrs = r.u64();
       ir.recoveryUsTotal = r.f64();
       ir.kernelUsTotal = r.f64();
       ir.keyUsTotal = r.f64();
       ir.loadUsTotal = r.f64();
       ir.paramUsTotal = r.f64();
       ir.patchUsTotal = r.f64();
+      ir.rollbackUsTotal = r.f64();
       ir.outputMatchesGolden = r.u8() != 0;
       ir.careFailReason = r.str();
     };
@@ -188,6 +204,46 @@ int ExperimentResult::recoveredCount() const {
 double ExperimentResult::coverage() const {
   const int segv = segvCount();
   return segv > 0 ? double(recoveredCount()) / segv : 0.0;
+}
+
+int ExperimentResult::rolledBackCount() const {
+  int n = 0;
+  for (const auto& r : records)
+    if (r.haveCare && r.withCare.outcome == Outcome::RolledBack) ++n;
+  return n;
+}
+
+int ExperimentResult::rollbackSdcCount() const {
+  int n = 0;
+  for (const auto& r : records)
+    if (r.haveCare && r.withCare.outcome == Outcome::RolledBack &&
+        !r.withCare.outputMatchesGolden)
+      ++n;
+  return n;
+}
+
+double ExperimentResult::meanRollbackUs() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.haveCare && r.withCare.outcome == Outcome::RolledBack) {
+      sum += r.withCare.rollbackUsTotal;
+      ++n;
+    }
+  }
+  return n ? sum / n : 0;
+}
+
+double ExperimentResult::meanRollbackReexecInstrs() const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.haveCare && r.withCare.outcome == Outcome::RolledBack) {
+      sum += static_cast<double>(r.withCare.rollbackReexecInstrs);
+      ++n;
+    }
+  }
+  return n ? sum / n : 0;
 }
 
 std::array<int, 4> ExperimentResult::latencyBuckets() const {
@@ -278,6 +334,13 @@ std::vector<std::uint8_t> serializeDeterministic(const ExperimentResult& r) {
   return w.data();
 }
 
+std::vector<std::uint8_t> serializeDeterministicRecord(
+    const InjectionRecord& rec) {
+  ByteWriter w;
+  putRecord(rec, w, /*withTimings=*/false);
+  return w.data();
+}
+
 ExperimentResult runExperiment(const workloads::Workload& w,
                                const ExperimentConfig& cfg,
                                CampaignTelemetry* telemetry) {
@@ -295,9 +358,15 @@ ExperimentResult runExperiment(const workloads::Workload& w,
       cfg.ckptInterval == CampaignConfig::kCkptAuto
           ? ckptIntervalFromEnv(CampaignConfig::kCkptAuto)
           : cfg.ckptInterval;
+  // Likewise resolve the recovery strategy and ring capacity here — both
+  // change rollback-trial semantics, so the env values in effect must land
+  // in the cache key (DESIGN.md §4f).
+  const core::RecoveryStrategy recover = cfg.armor.resolvedRecover();
+  const std::size_t ringCap = vm::rollbackRingFromEnv(8);
 
   std::filesystem::create_directories(cfg.cacheDir);
-  const std::string path = cachePath(w.name, cfg, ckptInterval);
+  const std::string path =
+      cachePath(w.name, cfg, ckptInterval, recover, ringCap);
   const auto t0 = std::chrono::steady_clock::now();
   if (auto cached = readResult(path)) {
     tel.fromCache = true;
@@ -315,6 +384,8 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   ccfg.bitsToFlip = cfg.bits;
   ccfg.hangFactor = 4;
   ccfg.checkpointEveryInstrs = ckptInterval;
+  ccfg.recover = recover;
+  ccfg.rollbackRingCap = ringCap;
   if (cfg.patchBaseFirst)
     ccfg.patchTarget = core::Safeguard::PatchTarget::BaseFirst;
   Campaign campaign(built.image.get(), ccfg);

@@ -67,6 +67,17 @@ struct ExperimentResult {
   int segvCount() const { return countSignal(vm::TrapKind::SegFault); }
   int recoveredCount() const;                        // CARE coverage numerator
   double coverage() const;                           // recovered / segv
+  /// CARE re-runs that completed only via checkpoint rollback (outcome
+  /// RolledBack; DESIGN.md §4f).
+  int rolledBackCount() const;
+  /// Rolled-back re-runs whose output did NOT match golden: corruption
+  /// escaped into externalized output before the trap, so the rollback
+  /// survived the crash but is not a recovery.
+  int rollbackSdcCount() const;
+  /// Mean rollback wall time / re-executed instructions over rolled-back
+  /// re-runs; 0 when there are none.
+  double meanRollbackUs() const;
+  double meanRollbackReexecInstrs() const;
   /// Latency histogram over soft failures: <=10, 11-50, 51-400, >400.
   std::array<int, 4> latencyBuckets() const;
   /// Mean Safeguard time per recovered injection, microseconds.
@@ -102,12 +113,19 @@ ExperimentResult runExperiment(const workloads::Workload& w,
                                CampaignTelemetry* telemetry = nullptr);
 
 /// Serialize the deterministic portion of a result — everything except the
-/// wall-clock microsecond fields (recoveryUsTotal / kernelUsTotal and the
-/// per-phase keyUs/loadUs/paramUs/patchUs totals), which vary between any
-/// two runs, serial or not. This byte stream is the statement of the
-/// parallel ≡ serial equivalence guarantee: it is identical for every
-/// `threads` value.
+/// wall-clock microsecond fields (recoveryUsTotal / kernelUsTotal /
+/// rollbackUsTotal and the per-phase keyUs/loadUs/paramUs/patchUs totals),
+/// which vary between any two runs, serial or not. This byte stream is the
+/// statement of the parallel ≡ serial equivalence guarantee: it is
+/// identical for every `threads` value.
 std::vector<std::uint8_t> serializeDeterministic(const ExperimentResult& r);
+
+/// The same deterministic projection for a single record — the unit the
+/// rollback differential oracle compares: a repair-success trial must
+/// produce byte-identical records under `repair` and `repair_then_rollback`
+/// (rollback only engages after a repair failure).
+std::vector<std::uint8_t> serializeDeterministicRecord(
+    const InjectionRecord& rec);
 
 /// Also expose the compile step so compile-stat benches (Tables 5/8) share
 /// the flow without a campaign.

@@ -23,6 +23,7 @@ const char* outcomeName(Outcome o) {
   case Outcome::SDC: return "SDC";
   case Outcome::Hang: return "Hang";
   case Outcome::Detected: return "Detected";
+  case Outcome::RolledBack: return "RolledBack";
   }
   return "?";
 }
@@ -156,29 +157,42 @@ bool Campaign::profile() {
     interval = goldenInstrs_ / kMaxCheckpoints + 1;
   ckptInterval_ = interval;
   if (ckptInterval_ > 0) buildCheckpoints();
+
+  // Rollback-ring spacing (DESIGN.md §4f): same env knob and auto rule,
+  // deliberately *not* cfg_.checkpointEveryInstrs — rollback trials must
+  // behave identically whether or not the replay cache is enabled.
+  std::uint64_t rb = ckptIntervalFromEnv(goldenInstrs_ / 64);
+  if (rb > 0 && rb < goldenInstrs_ / kMaxCheckpoints + 1)
+    rb = goldenInstrs_ / kMaxCheckpoints + 1;
+  if (rb == 0) rb = goldenInstrs_ + 1; // entry checkpoint only
+  rollbackInterval_ = rb;
   return true;
 }
 
 void Campaign::buildCheckpoints() {
   trace::Span span("campaign.build_checkpoints", "campaign");
-  // Re-run the golden execution, pausing on every segment boundary. The
-  // budget check fires *before* an instruction executes, so stopping on an
-  // exact instrCount leaves the executor at a clean instruction boundary;
-  // re-running with a raised budget resumes in place.
+  // Re-run the golden execution through the shared boundary driver
+  // (vm/checkpoint_ring.hpp), capturing a TrialCheckpoint at every segment
+  // boundary. The driver also pauses once at entry (instruction 0) for
+  // rollback rings; the replay cache has no use for that boundary — a
+  // trial with no earlier checkpoint simply runs from scratch — so the
+  // first callback is skipped to keep the pre-existing checkpoint set.
   Executor ex(image_, baseMem_);
   ex.enableProfiling();
-  for (std::uint64_t next = ckptInterval_; next < goldenInstrs_;
-       next += ckptInterval_) {
-    ex.setBudget(next);
-    const vm::RunResult r = vm::runToCompletion(ex, cfg_.entry);
-    if (r.status != vm::RunStatus::BudgetExceeded) break; // finished early
-    TrialCheckpoint ck;
-    ck.rp = ex.resumePoint();
-    ck.siteCounts.reserve(sites_.size());
-    for (const CodeLoc& loc : sites_)
-      ck.siteCounts.push_back(ex.profileCount(loc));
-    checkpoints_.push_back(std::move(ck));
-  }
+  bool atEntry = true;
+  vm::runCheckpointed(ex, cfg_.entry, ckptInterval_, goldenInstrs_,
+                      [&](Executor& e) {
+                        if (atEntry) {
+                          atEntry = false;
+                          return;
+                        }
+                        TrialCheckpoint ck;
+                        ck.rp = e.resumePoint();
+                        ck.siteCounts.reserve(sites_.size());
+                        for (const CodeLoc& loc : sites_)
+                          ck.siteCounts.push_back(e.profileCount(loc));
+                        checkpoints_.push_back(std::move(ck));
+                      });
 }
 
 std::ptrdiff_t Campaign::siteIndexOf(const CodeLoc& loc) const {
@@ -242,25 +256,37 @@ InjectionResult Campaign::runInjection(
     const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts) const {
   InjectionResult res;
   Executor ex(image_, baseMem_);
+  // Rollback strategies re-execute from ring checkpoints captured *during
+  // this trial*; the replay-cache fast-forward is skipped for them so the
+  // trial is identical whether or not the cache is enabled (the ring's
+  // entry checkpoint must also genuinely be the entry state, which a
+  // restored mid-run prefix would not be).
+  const bool wantRollback =
+      careArtifacts && core::strategyRollsBack(cfg_.recover);
   // Replay cache: fast-forward to the last checkpoint before the fault site
   // and arm with the *remaining* executions. instrCount and output are
   // restored absolute, so the hang budget, manifestation latency and SDC
   // comparison below are oblivious to the skipped prefix.
   std::uint64_t armNth = pt.nth;
-  if (const TrialCheckpoint* ck = replaySource(pt)) {
-    {
-      trace::Span restoreSpan("trial.restore_checkpoint", "campaign");
-      ex.restoreCheckpoint(ck->rp);
+  if (!wantRollback) {
+    if (const TrialCheckpoint* ck = replaySource(pt)) {
+      {
+        trace::Span restoreSpan("trial.restore_checkpoint", "campaign");
+        ex.restoreCheckpoint(ck->rp);
+      }
+      armNth = pt.nth -
+               ck->siteCounts[static_cast<std::size_t>(siteIndexOf(pt.loc))];
+      res.replaySavedInstrs = ck->rp.instrCount;
     }
-    armNth = pt.nth -
-             ck->siteCounts[static_cast<std::size_t>(siteIndexOf(pt.loc))];
-    res.replaySavedInstrs = ck->rp.instrCount;
   }
-  ex.setBudget(goldenInstrs_ * cfg_.hangFactor + 1'000'000);
+  const std::uint64_t budget = goldenInstrs_ * cfg_.hangFactor + 1'000'000;
+  vm::CheckpointRing ring(cfg_.rollbackRingCap);
   std::unique_ptr<core::Safeguard> safeguard;
   if (careArtifacts) {
     safeguard = std::make_unique<core::Safeguard>();
     safeguard->setPatchTarget(cfg_.patchTarget);
+    safeguard->setStrategy(cfg_.recover);
+    if (wantRollback) safeguard->setRollbackSource(&ring);
     for (const auto& [mi, arts] : *careArtifacts)
       safeguard->addModule(mi, arts);
     safeguard->attach(ex);
@@ -274,7 +300,18 @@ InjectionResult Campaign::runInjection(
     corruptDestination(e, pt.loc, pt.bits);
   });
 
-  const vm::RunResult run = vm::runToCompletion(ex, cfg_.entry);
+  vm::RunResult run;
+  if (wantRollback) {
+    // Boundary-driven run: pause every rollbackInterval_ instructions and
+    // feed the ring (entry state included). A mid-run rollback rewinds
+    // instrCount below the current boundary target; the driver's budget is
+    // absolute, so the re-execution simply runs back up to it.
+    run = vm::runCheckpointed(ex, cfg_.entry, rollbackInterval_, budget,
+                              [&](Executor& e) { ring.push(e); });
+  } else {
+    ex.setBudget(budget);
+    run = vm::runToCompletion(ex, cfg_.entry);
+  }
   res.injected = fired;
   res.instrsExecuted = run.instrCount;
 
@@ -305,7 +342,7 @@ InjectionResult Campaign::runInjection(
     const core::SafeguardStats& st = safeguard->stats();
     res.safeguardActivations = st.activations;
     res.ivAltRecoveries = st.ivAltRecoveries;
-    res.careRecovered = st.recovered > 0 && res.survived;
+    res.rollbacks = st.rollbacks;
     for (const core::RecoveryRecord& r : st.records) {
       res.recoveryUsTotal += r.totalUs;
       res.kernelUsTotal += r.kernelUs;
@@ -313,9 +350,19 @@ InjectionResult Campaign::runInjection(
       res.loadUsTotal += r.loadUs;
       res.paramUsTotal += r.paramUs;
       res.patchUsTotal += r.patchUs;
-      if (!r.recovered && res.careFailReason.empty())
+      res.rollbackUsTotal += r.rollbackUs;
+      res.rollbackReexecInstrs += r.discardedInstrs;
+      if (!r.recovered && !r.rolledBack && res.careFailReason.empty())
         res.careFailReason = r.failReason;
     }
+    // A completed run that needed >=1 rollback is its own outcome class:
+    // rollback preserves externalized output, so the Benign/SDC verdict
+    // above is folded into careRecovered instead — a rollback survival
+    // only counts as recovered when no corrupt output escaped.
+    if (res.survived && st.rollbacks > 0) res.outcome = Outcome::RolledBack;
+    res.careRecovered =
+        res.survived &&
+        (st.recovered > 0 || (st.rollbacks > 0 && res.outputMatchesGolden));
   }
   return res;
 }

@@ -17,6 +17,7 @@
 
 #include "care/safeguard.hpp"
 #include "support/rng.hpp"
+#include "vm/checkpoint_ring.hpp"
 #include "vm/executor.hpp"
 
 namespace care::inject {
@@ -25,8 +26,14 @@ namespace care::inject {
 /// Sentinel detector trap (vm::TrapKind::Sentinel): the corruption would
 /// have been an SDC or Hang, but compiler-inserted checks converted it into
 /// an attributable abort. Kept distinct so detector coverage is measurable
-/// and Table 3's SIGABRT bucket stays assert-only.
-enum class Outcome : std::uint8_t { Benign, SoftFailure, SDC, Hang, Detected };
+/// and Table 3's SIGABRT bucket stays assert-only. `RolledBack` is a run
+/// that completed only because Safeguard restored >=1 checkpoint
+/// (DESIGN.md §4f); whether it also counts as a *recovery* depends on the
+/// output matching golden (careRecovered), since a rollback cannot unwind
+/// already-externalized output.
+enum class Outcome : std::uint8_t {
+  Benign, SoftFailure, SDC, Hang, Detected, RolledBack
+};
 
 const char* outcomeName(Outcome o);
 
@@ -52,9 +59,14 @@ struct InjectionResult {
   bool injected = false;           // the point was actually reached
   // CARE-specific:
   bool survived = false;              // run completed (with CARE attached)
-  bool careRecovered = false;         // >=1 successful Safeguard repair
+  bool careRecovered = false;         // >=1 successful Safeguard repair, or
+                                      // rollback(s) with golden output
   std::uint64_t safeguardActivations = 0;
   std::uint64_t ivAltRecoveries = 0;  // Fig. 11 extension successes
+  std::uint64_t rollbacks = 0;        // checkpoint restores performed
+  /// Instructions discarded by rollbacks (sum of fault instrCount minus
+  /// restore target): the work the re-executions had to redo.
+  std::uint64_t rollbackReexecInstrs = 0;
   double recoveryUsTotal = 0;         // sum over activations
   double kernelUsTotal = 0;           // time inside recovery kernels
   // Fig. 9 phase breakdown, summed over activations (wall-clock fields,
@@ -64,6 +76,7 @@ struct InjectionResult {
   double loadUsTotal = 0;             // lazy artifact load + kernel lookup
   double paramUsTotal = 0;            // operand disassembly + param fetch
   double patchUsTotal = 0;            // operand patch
+  double rollbackUsTotal = 0;         // checkpoint selection + CoW restore
   bool outputMatchesGolden = false;
   std::string careFailReason;         // first Safeguard failure, if any
 };
@@ -84,6 +97,15 @@ struct CampaignConfig {
   /// campaign records — this is a performance knob.
   static constexpr std::uint64_t kCkptAuto = ~0ull;
   std::uint64_t checkpointEveryInstrs = kCkptAuto;
+  /// Safeguard recovery policy for CARE-attached trials (DESIGN.md §4f).
+  /// Unlike the replay knob above this *does* change trial semantics for
+  /// rollback strategies, so it participates in the experiment cache key.
+  /// Default resolves CARE_RECOVER at construction (paper: repair only).
+  core::RecoveryStrategy recover =
+      core::recoverFromEnv(core::RecoveryStrategy::Repair);
+  /// Capacity of the per-trial rollback checkpoint ring (incl. the pinned
+  /// entry checkpoint); default resolves CARE_ROLLBACK_RING.
+  std::size_t rollbackRingCap = vm::rollbackRingFromEnv(8);
 };
 
 /// CARE_CKPT_INTERVAL parsed as a decimal instruction count, or `fallback`
@@ -169,6 +191,11 @@ private:
   // dynamic instructions (DESIGN.md §4c).
   std::uint64_t ckptInterval_ = 0;
   std::vector<TrialCheckpoint> checkpoints_;
+  // Rollback-ring boundary spacing for rollback-strategy trials (DESIGN.md
+  // §4f). Derived from env/goldenInstrs only — *not* from
+  // checkpointEveryInstrs — so the replay cache stays a pure performance
+  // knob (bit-identical records at any setting) under every strategy.
+  std::uint64_t rollbackInterval_ = 0;
 };
 
 } // namespace care::inject

@@ -1,0 +1,76 @@
+#include "vm/checkpoint_ring.hpp"
+
+#include <cstdlib>
+
+namespace care::vm {
+
+void CheckpointRing::clear() {
+  entry_.reset();
+  ring_.clear();
+  evicted_ = 0;
+}
+
+void CheckpointRing::push(Executor::ResumePoint rp) {
+  if (!entry_) {
+    entry_ = std::move(rp);
+    return;
+  }
+  // Stale futures: a rollback rewound the executor, so boundaries at or
+  // past this instrCount describe a discarded execution.
+  while (!ring_.empty() && ring_.back().instrCount >= rp.instrCount)
+    ring_.pop_back();
+  if (entry_->instrCount >= rp.instrCount) return; // grid never goes there
+  ring_.push_back(std::move(rp));
+  while (ring_.size() + 1 > capacity_ && !ring_.empty()) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+const Executor::ResumePoint*
+CheckpointRing::latestBefore(std::uint64_t instrCount) const {
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it)
+    if (it->instrCount < instrCount) return &*it;
+  if (entry_ && entry_->instrCount < instrCount) return &*entry_;
+  return nullptr;
+}
+
+void CheckpointRing::dropAfter(std::uint64_t instrCount) {
+  while (!ring_.empty() && ring_.back().instrCount > instrCount)
+    ring_.pop_back();
+  if (entry_ && entry_->instrCount > instrCount) entry_.reset();
+}
+
+std::size_t rollbackRingFromEnv(std::size_t fallback) {
+  const char* s = std::getenv("CARE_ROLLBACK_RING");
+  if (!s || !*s) return fallback;
+  return static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
+}
+
+RunResult runCheckpointed(Executor& ex, const std::string& entry,
+                          std::uint64_t interval, std::uint64_t finalBudget,
+                          const std::function<void(Executor&)>& onBoundary) {
+  if (interval == 0) {
+    ex.setBudget(finalBudget);
+    return runToCompletion(ex, entry);
+  }
+  // Entry boundary: with the budget already met, run() performs its entry
+  // setup (frame, halt sentinel) and returns BudgetExceeded before
+  // executing an instruction — the resulting position is started and
+  // restorable, unlike a never-run executor's.
+  ex.setBudget(ex.instrCount());
+  RunResult r = ex.run(entry);
+  if (r.status != RunStatus::BudgetExceeded) return r;
+  onBoundary(ex);
+  for (std::uint64_t next = ex.instrCount() + interval; next < finalBudget;
+       next += interval) {
+    ex.setBudget(next);
+    r = runToCompletion(ex, entry);
+    if (r.status != RunStatus::BudgetExceeded) return r;
+    onBoundary(ex);
+  }
+  ex.setBudget(finalBudget);
+  return runToCompletion(ex, entry);
+}
+
+} // namespace care::vm

@@ -136,12 +136,12 @@ Executor::ResumePoint Executor::resumePoint() {
   return rp;
 }
 
-void Executor::restoreCheckpoint(const ResumePoint& rp) {
+void Executor::restoreCheckpoint(const ResumePoint& rp, bool preserveOutput) {
   st_ = rp.st;
   mem_ = rp.mem.fork();
   started_ = rp.started;
   instrCount_ = rp.instrCount;
-  output_ = rp.output;
+  if (!preserveOutput) output_ = rp.output;
   // A never-started point restores to a fresh executor; run() then performs
   // its usual entry setup.
   if (rp.started) jumpTo({rp.module, rp.func, rp.instr});

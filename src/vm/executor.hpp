@@ -127,7 +127,15 @@ public:
   /// whole golden prefix had been re-executed. The next run() resumes at
   /// the captured position on whichever interpreter loop is selected.
   /// Thread-safe with respect to concurrent restores of the same point.
-  void restoreCheckpoint(const ResumePoint& rp);
+  ///
+  /// `preserveOutput` keeps the current output buffer instead of the
+  /// captured one: emitted values model console output, already
+  /// externalized, which a rollback cannot unwind (DESIGN.md §4f) — the
+  /// re-execution then re-emits whatever followed the checkpoint, and the
+  /// SDC comparison honestly sees both the escaped values and the
+  /// duplicates. The replay cache keeps the default (reseat), preserving
+  /// its as-if-from-scratch equivalence.
+  void restoreCheckpoint(const ResumePoint& rp, bool preserveOutput = false);
 
   // --- run ----------------------------------------------------------------
   /// Execute from `entry`. A Barrier instruction (MiniC `mpi_barrier()`)

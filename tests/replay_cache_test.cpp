@@ -37,6 +37,8 @@ void expectSameResult(const InjectionResult& a, const InjectionResult& b) {
   EXPECT_EQ(a.careRecovered, b.careRecovered);
   EXPECT_EQ(a.safeguardActivations, b.safeguardActivations);
   EXPECT_EQ(a.ivAltRecoveries, b.ivAltRecoveries);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.rollbackReexecInstrs, b.rollbackReexecInstrs);
   EXPECT_EQ(a.outputMatchesGolden, b.outputMatchesGolden);
   EXPECT_EQ(a.careFailReason, b.careFailReason);
 }

@@ -8,6 +8,7 @@
 #include "inject/injector.hpp"
 #include "support/rng.hpp"
 #include "support/trace.hpp"
+#include "vm/checkpoint_ring.hpp"
 
 namespace care::test {
 namespace {
@@ -364,6 +365,137 @@ TEST(Safeguard, RecoveryEmitsTraceSpans) {
                            "safeguard.params", "safeguard.kernel",
                            "safeguard.patch", "safeguard.onTrap"})
     EXPECT_NE(json.find(span), std::string::npos) << span;
+}
+
+TEST(Safeguard, StatsCommitOnlyBehindOutcomeDecision) {
+  // Pin of the outcome-commit refactor: every stats_ mutation happens after
+  // the strategy decision is final, so across all four strategies on the
+  // *same* trap the counters exactly tile the records — no mid-flight
+  // accounting from attempts a later decision point abandons.
+  Env e = build(opt::OptLevel::O0, "strategy");
+  inject::CampaignConfig ccfg;
+  ccfg.recover = core::RecoveryStrategy::Repair; // pin: no CARE_RECOVER leak
+  inject::Campaign campaign(e.image.get(), ccfg);
+  ASSERT_TRUE(campaign.profile());
+
+  // A point the repair path handles, so Repair diverges from Rollback/None
+  // on the identical trap.
+  Rng rng(44);
+  inject::InjectionPoint pt;
+  bool found = false;
+  for (int i = 0; i < 300 && !found; ++i) {
+    pt = campaign.sample(rng);
+    const auto plain = campaign.runInjection(pt);
+    if (plain.outcome != inject::Outcome::SoftFailure ||
+        plain.signal != vm::TrapKind::SegFault)
+      continue;
+    found = campaign.runInjection(pt, &e.artifacts).careRecovered;
+  }
+  ASSERT_TRUE(found) << "no repairable SIGSEGV found";
+
+  using core::RecoveryStrategy;
+  struct Variant {
+    RecoveryStrategy s;
+    bool armRing;
+  };
+  const Variant variants[] = {
+      {RecoveryStrategy::Repair, false},
+      {RecoveryStrategy::RepairThenRollback, true},
+      {RecoveryStrategy::Rollback, true},
+      {RecoveryStrategy::Rollback, false}, // rollback wanted, no ring armed
+      {RecoveryStrategy::None, false},
+  };
+  for (const Variant& v : variants) {
+    SCOPED_TRACE(std::string(core::recoveryStrategyName(v.s)) +
+                 (v.armRing ? "+ring" : ""));
+    vm::Executor ex(e.image.get());
+    Safeguard sg;
+    sg.addModule(0, e.artifacts[0]);
+    sg.setStrategy(v.s);
+    vm::CheckpointRing ring(8);
+    if (v.armRing) sg.setRollbackSource(&ring);
+    sg.attach(ex);
+    ex.armInjection(pt.loc, pt.nth, [&](vm::Executor& ex2) {
+      inject::Campaign::corruptDestination(ex2, pt.loc, pt.bits);
+    });
+    const std::uint64_t budget = campaign.goldenInstrs() * 4;
+    const vm::RunResult r =
+        v.armRing ? vm::runCheckpointed(ex, "main", /*interval=*/500, budget,
+                                        [&](vm::Executor& ex2) {
+                                          ring.push(ex2);
+                                        })
+                  : [&] {
+                      ex.setBudget(budget);
+                      return vm::runToCompletion(ex, "main");
+                    }();
+
+    // The tiling invariant, for every strategy.
+    const core::SafeguardStats& st = sg.stats();
+    EXPECT_EQ(st.activations, st.records.size() + st.droppedRecords);
+    std::uint64_t recovered = 0, rolledBack = 0, failed = 0;
+    for (const core::RecoveryRecord& rec : st.records) {
+      EXPECT_FALSE(rec.recovered && rec.rolledBack)
+          << "a record cannot be both repaired and rolled back";
+      recovered += rec.recovered ? 1 : 0;
+      rolledBack += rec.rolledBack ? 1 : 0;
+      failed += (!rec.recovered && !rec.rolledBack) ? 1 : 0;
+    }
+    EXPECT_EQ(st.recovered, recovered);
+    EXPECT_EQ(st.rollbacks, rolledBack);
+    std::uint64_t failTally = 0;
+    for (const auto& [name, n] : st.failures) failTally += n;
+    EXPECT_EQ(failTally, failed);
+
+    ASSERT_GE(st.records.size(), 1u);
+    const core::RecoveryRecord& rec = st.records.front();
+    switch (v.s) {
+    case RecoveryStrategy::Repair:
+    case RecoveryStrategy::RepairThenRollback:
+      ASSERT_EQ(st.activations, 1u);
+      EXPECT_EQ(r.status, vm::RunStatus::Done);
+      EXPECT_EQ(st.recovered, 1u);
+      EXPECT_EQ(st.rollbacks, 0u) << "rollback engaged on a repair success";
+      break;
+    case RecoveryStrategy::Rollback:
+      if (v.armRing) {
+        // A rollback into a checkpoint captured after the corruption can
+        // re-trap and cascade (strictly toward the entry), so >= 1
+        // activation — but every one must be a rollback, never a repair.
+        EXPECT_EQ(r.status, vm::RunStatus::Done);
+        EXPECT_EQ(st.recovered, 0u) << "repair ran under rollback-only";
+        EXPECT_GE(st.rollbacks, 1u);
+        EXPECT_EQ(st.rollbacks, st.activations);
+        for (const core::RecoveryRecord& rr : st.records) {
+          EXPECT_TRUE(rr.rolledBack);
+          EXPECT_EQ(rr.failReason, "repair disabled by strategy");
+          // The latent-bug pin: repair phases the strategy never ran must
+          // not have accrued any timing.
+          EXPECT_EQ(rr.keyUs + rr.loadUs + rr.paramUs + rr.kernelUs +
+                        rr.patchUs,
+                    0.0);
+        }
+      } else {
+        ASSERT_EQ(st.activations, 1u);
+        EXPECT_EQ(r.status, vm::RunStatus::Trapped);
+        EXPECT_EQ(rec.failCode, core::FailCode::NoCheckpointForRollback);
+        EXPECT_EQ(rec.failReason,
+                  "repair disabled by strategy; rollback: "
+                  "no checkpoint ring armed");
+      }
+      break;
+    case RecoveryStrategy::None:
+      ASSERT_EQ(st.activations, 1u);
+      EXPECT_EQ(r.status, vm::RunStatus::Trapped);
+      EXPECT_EQ(st.recovered, 0u);
+      EXPECT_EQ(st.rollbacks, 0u);
+      EXPECT_EQ(rec.failCode, core::FailCode::RecoveryDisabled);
+      EXPECT_EQ(rec.failReason, "recovery disabled by strategy");
+      EXPECT_EQ(rec.keyUs + rec.loadUs + rec.paramUs + rec.kernelUs +
+                    rec.patchUs + rec.rollbackUs,
+                0.0);
+      break;
+    }
+  }
 }
 
 } // namespace

@@ -24,6 +24,7 @@
 #include "sentinel/sentinel.hpp"
 #include "support/rng.hpp"
 #include "support/trace.hpp"
+#include "vm/checkpoint_ring.hpp"
 
 using namespace care;
 
@@ -43,6 +44,9 @@ struct Args {
   bool inductionRecovery = false;
   bool detectGiven = false; // --detect pins the config (CARE_DETECT ignored)
   sentinel::DetectOptions detect;
+  bool recoverGiven = false; // --recover pins it (CARE_RECOVER ignored)
+  core::RecoveryStrategy recover = core::RecoveryStrategy::Repair;
+  std::size_t rollbackRing = 0; // 0 = CARE_ROLLBACK_RING or default
 };
 
 void usage() {
@@ -67,6 +71,11 @@ void usage() {
                "                     cfc (control-flow signatures) and addr\n"
                "                     (address-chain duplication), or all /\n"
                "                     none; overrides CARE_DETECT\n"
+               "  --recover=<s>      Safeguard policy: repair (default),\n"
+               "                     rollback, repair_then_rollback, none;\n"
+               "                     overrides CARE_RECOVER\n"
+               "  --rollback-ring <n> rollback checkpoint ring capacity\n"
+               "                     (default CARE_ROLLBACK_RING or 8)\n"
                "  --trace=<file>     write a Chrome trace-event JSON of the\n"
                "                     recovery/campaign phases (%%p expands to\n"
                "                     the PID; CARE_TRACE=<file> does the same\n"
@@ -123,11 +132,41 @@ int cmdRun(const Args& a) {
   image.load(cm.mmod.get());
   image.link();
   vm::Executor ex(&image);
-  ex.setBudget(5'000'000'000ull);
   core::Safeguard safeguard;
   safeguard.addModule(0, cm.artifacts);
   safeguard.attach(ex);
-  const vm::RunResult r = vm::runToCompletion(ex, a.entry);
+  const core::RecoveryStrategy recover =
+      a.recoverGiven ? a.recover
+                     : core::recoverFromEnv(core::RecoveryStrategy::Repair);
+  safeguard.setStrategy(recover);
+  constexpr std::uint64_t kRunBudget = 5'000'000'000ull;
+  vm::RunResult r;
+  vm::CheckpointRing ring(
+      a.rollbackRing ? a.rollbackRing : vm::rollbackRingFromEnv(8));
+  if (core::strategyRollsBack(recover)) {
+    // Rollback needs live checkpoints: drive the run through boundary
+    // pauses, feeding the ring. Outside a campaign there is no golden
+    // instruction count to derive an interval from, so --ckpt-interval /
+    // CARE_CKPT_INTERVAL apply directly (default 100k instructions).
+    safeguard.setRollbackSource(&ring);
+    std::uint64_t interval = a.ckptInterval;
+    if (interval == inject::CampaignConfig::kCkptAuto)
+      interval = inject::ckptIntervalFromEnv(100'000);
+    r = vm::runCheckpointed(ex, a.entry, interval, kRunBudget,
+                            [&](vm::Executor& e) { ring.push(e); });
+  } else {
+    ex.setBudget(kRunBudget);
+    r = vm::runToCompletion(ex, a.entry);
+  }
+  if (const auto& st = safeguard.stats(); st.rollbacks > 0)
+    std::printf("safeguard: %llu rollback(s), %llu instructions "
+                "re-executed\n",
+                static_cast<unsigned long long>(st.rollbacks),
+                static_cast<unsigned long long>([&] {
+                  std::uint64_t n = 0;
+                  for (const auto& rec : st.records) n += rec.discardedInstrs;
+                  return n;
+                }()));
   for (std::uint64_t bits : ex.output()) {
     double d;
     std::memcpy(&d, &bits, 8);
@@ -189,6 +228,8 @@ int cmdInject(const Args& a) {
   ccfg.seed = a.seed;
   ccfg.entry = a.entry;
   ccfg.checkpointEveryInstrs = a.ckptInterval;
+  if (a.recoverGiven) ccfg.recover = a.recover; // else: CARE_RECOVER default
+  if (a.rollbackRing) ccfg.rollbackRingCap = a.rollbackRing;
   inject::Campaign campaign(&image, ccfg);
   if (!campaign.profile()) {
     std::fprintf(stderr, "program failed its golden run\n");
@@ -223,7 +264,7 @@ int cmdInject(const Args& a) {
   inject::publishTelemetry(tel);
 
   int benign = 0, sdc = 0, hang = 0, segv = 0, otherSig = 0, detected = 0,
-      recovered = 0;
+      recovered = 0, rolledBack = 0;
   double recoveryUs = 0;
   for (const inject::InjectionRecord& rec : records) {
     const inject::InjectionResult& r = rec.plain;
@@ -232,6 +273,7 @@ int cmdInject(const Args& a) {
     case inject::Outcome::SDC: ++sdc; break;
     case inject::Outcome::Hang: ++hang; break;
     case inject::Outcome::Detected: ++detected; break;
+    case inject::Outcome::RolledBack: ++rolledBack; break;
     case inject::Outcome::SoftFailure:
       if (r.signal == vm::TrapKind::SegFault) ++segv;
       else ++otherSig;
@@ -256,6 +298,9 @@ int cmdInject(const Args& a) {
   if (a.withCare) {
     std::printf("recovered  : %d (avg %.1f us per recovery)\n", recovered,
                 recovered ? recoveryUs / recovered : 0.0);
+    if (rolledBack)
+      std::printf("rolled back: %d (strategy %s)\n", rolledBack,
+                  core::recoveryStrategyName(ccfg.recover));
   }
   std::printf("campaign   : %.2fs wall, %.1f trials/s, %.1f MIPS, "
               "threads=%d, utilization %.0f%%\n",
@@ -303,6 +348,18 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    else if (s.rfind("--recover=", 0) == 0) {
+      a.recoverGiven = true;
+      try {
+        a.recover = core::parseRecoveryStrategy(
+            s.substr(std::strlen("--recover=")));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (s == "--rollback-ring")
+      a.rollbackRing = std::strtoull(next().c_str(), nullptr, 10);
     else if (s.rfind("--trace=", 0) == 0)
       trace::enable(s.substr(std::strlen("--trace=")));
     else if (s == "--trace") trace::enable(next());
