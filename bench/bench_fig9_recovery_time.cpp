@@ -44,6 +44,35 @@ int main() {
     std::printf("\nminimum preparation share: %.2f%% (paper shape: >=98%%) "
                 "%s\n",
                 100.0 * minShare, minShare >= 0.98 ? "OK" : "BELOW PAPER SHAPE");
+
+  // Second tier: repair-then-rollback. When the kernel path fails, the
+  // Safeguard falls back to a checkpoint restore, so each such activation
+  // additionally pays rollback time plus the re-executed instructions
+  // between the restored checkpoint and the trap (DESIGN.md §4f). These are
+  // the columns Fig. 9 gains once rollback is armed.
+  std::printf("\n--- repair_then_rollback: rollback phase ---\n");
+  std::printf("%-10s %4s | %6s %6s | %11s %14s\n", "Workload", "Opt",
+              "rolled", "sdc", "rollback us", "reexec instrs");
+  for (const auto* w : workloads::careWorkloads()) {
+    for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1}) {
+      auto cfg = bench::baseConfig(level);
+      cfg.armor.recover = core::RecoveryStrategy::RepairThenRollback;
+      const inject::ExperimentResult r = inject::runExperiment(*w, cfg);
+      if (r.rolledBackCount() == 0) {
+        std::printf("%-10s %4s | %6d %6d | %11s %14s\n", w->name.c_str(),
+                    bench::levelName(level), 0, 0, "-", "-");
+        continue;
+      }
+      std::printf("%-10s %4s | %6d %6d | %11.1f %14.0f\n", w->name.c_str(),
+                  bench::levelName(level), r.rolledBackCount(),
+                  r.rollbackSdcCount(), r.meanRollbackUs(),
+                  r.meanRollbackReexecInstrs());
+    }
+  }
+  std::printf("\n(rollback us is the checkpoint-restore wall time per "
+              "rolled-back re-run; reexec instrs counts the replayed work\n"
+              " from the restored checkpoint to completion — the cost repair "
+              "avoids whenever the kernel path succeeds.)\n");
   std::printf("\n(Absolute times are host-dependent; the paper-shape claims "
               "are (a) preparation dominates and (b) recovery is orders of\n"
               " magnitude below a checkpoint restart — see "

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "inject/experiment.hpp"
+#include "inject/service.hpp"
 #include "support/trace.hpp"
 
 namespace care::inject {
@@ -70,13 +71,24 @@ std::vector<CampaignTelemetry>& telemetryLog() {
 } // namespace
 
 std::string CampaignTelemetry::json() const {
-  std::string out = "{\"event\":\"campaign\",\"workload\":\"";
+  std::string out = "{\"event\":\"";
+  out += jsonEscape(event);
+  out += "\",\"workload\":\"";
   out += jsonEscape(workload);
   out += "\",\"level\":\"";
   out += jsonEscape(level);
   out += "\",";
   jsonField(out, "trials", "%d,", trials);
   jsonField(out, "threads", "%d,", threads);
+  jsonField(out, "processes", "%d,", processes);
+  jsonField(out, "shards", "%d,", shards);
+  jsonField(out, "store_hits", "%d,", storeHits);
+  jsonField(out, "store_misses", "%d,", storeMisses);
+  jsonField(out, "shards_requeued", "%d,", shardsRequeued);
+  jsonField(out, "worker_restarts", "%d,", workerRestarts);
+  jsonField(out, "workers_alive", "%d,", workersAlive);
+  jsonField(out, "trials_done", "%d,", trialsDone);
+  jsonField(out, "eta_sec", "%.3f,", etaSec);
   jsonField(out, "care_reruns", "%d,", careReruns);
   out += "\"from_cache\":";
   out += fromCache ? "true," : "false,";
@@ -122,7 +134,9 @@ int resolveThreads(int requested, int trials) {
 
 void publishTelemetry(const CampaignTelemetry& t) {
   std::lock_guard<std::mutex> lock(gTelemetryMutex);
-  telemetryLog().push_back(t);
+  // Streaming progress snapshots go to the sink only: the log (and thus
+  // telemetrySummary / bench footers) counts each campaign exactly once.
+  if (t.event == "campaign") telemetryLog().push_back(t);
   const char* sink = std::getenv("CARE_TELEMETRY");
   if (!sink || !*sink) return;
   const std::string line = t.json();
@@ -160,7 +174,11 @@ TelemetrySummary telemetrySummary() {
     s.workerBusySec += t.workerBusySec;
     s.simInstrs += t.simInstrs;
     s.replaySavedInstrs += t.replaySavedInstrs;
+    s.storeHits += t.storeHits;
+    s.storeMisses += t.storeMisses;
+    s.workerRestarts += t.workerRestarts;
     if (t.threads > s.threads) s.threads = t.threads;
+    if (t.processes > s.processes) s.processes = t.processes;
   }
   return s;
 }
@@ -224,62 +242,76 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
     telemetry->threads = workers;
     telemetry->fromCache = false;
     telemetry->wallSec = secondsSince(t0);
-    telemetry->trialsPerSec =
-        telemetry->wallSec > 0 ? trials / telemetry->wallSec : 0;
     telemetry->workerBusySec = busySec;
     telemetry->utilization =
         telemetry->wallSec > 0
             ? busySec / (telemetry->wallSec * workers)
             : 0;
-    std::uint64_t instrs = 0;
-    std::uint64_t saved = 0;
-    double detectLatencySum = 0;
-    for (const InjectionRecord& rec : records) {
-      // instrsExecuted is absolute (counted from instruction 0); subtract
-      // the replayed prefix so simInstrs/mips report work actually done.
-      instrs += rec.plain.instrsExecuted - rec.plain.replaySavedInstrs;
-      saved += rec.plain.replaySavedInstrs;
-      if (rec.plain.outcome == Outcome::Detected) {
-        ++telemetry->detected;
-        detectLatencySum += static_cast<double>(rec.plain.latencyInstrs);
-      }
-      if (rec.haveCare) {
-        instrs += rec.withCare.instrsExecuted - rec.withCare.replaySavedInstrs;
-        saved += rec.withCare.replaySavedInstrs;
-        // Fig. 9 phase aggregate over the CARE re-run's activations.
-        if (rec.withCare.careRecovered) ++telemetry->recoveries;
-        telemetry->rollbacks += rec.withCare.rollbacks;
-        telemetry->rollbackReexecInstrs += rec.withCare.rollbackReexecInstrs;
-        telemetry->rollbackUs += rec.withCare.rollbackUsTotal;
-        telemetry->recKeyUs += rec.withCare.keyUsTotal;
-        telemetry->recLoadUs += rec.withCare.loadUsTotal;
-        telemetry->recParamUs += rec.withCare.paramUsTotal;
-        telemetry->recKernelUs += rec.withCare.kernelUsTotal;
-        telemetry->recPatchUs += rec.withCare.patchUsTotal;
-        telemetry->recTotalUs += rec.withCare.recoveryUsTotal;
-      }
-    }
-    telemetry->simInstrs = instrs;
-    telemetry->replaySavedInstrs = saved;
-    telemetry->detectLatencyInstrs =
-        telemetry->detected ? detectLatencySum / telemetry->detected : 0;
-    telemetry->mips = telemetry->wallSec > 0
-                          ? static_cast<double>(instrs) / 1e6 /
-                                telemetry->wallSec
-                          : 0;
-    telemetry->effectiveMips =
-        telemetry->wallSec > 0
-            ? static_cast<double>(instrs + saved) / 1e6 / telemetry->wallSec
-            : 0;
+    aggregateRecordTelemetry(records, nullptr, *telemetry);
   }
   return records;
+}
+
+void aggregateRecordTelemetry(const std::vector<InjectionRecord>& records,
+                              const std::vector<std::uint8_t>* executed,
+                              CampaignTelemetry& t) {
+  t.careReruns = 0;
+  t.detected = 0;
+  t.recoveries = 0;
+  t.rollbacks = 0;
+  t.rollbackReexecInstrs = 0;
+  t.rollbackUs = t.recKeyUs = t.recLoadUs = t.recParamUs = 0;
+  t.recKernelUs = t.recPatchUs = t.recTotalUs = 0;
+  std::uint64_t instrs = 0;
+  std::uint64_t saved = 0;
+  double detectLatencySum = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const InjectionRecord& rec = records[i];
+    const bool ran = !executed || (*executed)[i] != 0;
+    if (rec.plain.outcome == Outcome::Detected) {
+      ++t.detected;
+      detectLatencySum += static_cast<double>(rec.plain.latencyInstrs);
+    }
+    if (rec.haveCare) {
+      ++t.careReruns;
+      if (rec.withCare.careRecovered) ++t.recoveries;
+      t.rollbacks += rec.withCare.rollbacks;
+      t.rollbackReexecInstrs += rec.withCare.rollbackReexecInstrs;
+    }
+    if (!ran) continue; // store-served shard: semantic counters only
+    // instrsExecuted is absolute (counted from instruction 0); subtract
+    // the replayed prefix so simInstrs/mips report work actually done.
+    instrs += rec.plain.instrsExecuted - rec.plain.replaySavedInstrs;
+    saved += rec.plain.replaySavedInstrs;
+    if (rec.haveCare) {
+      instrs += rec.withCare.instrsExecuted - rec.withCare.replaySavedInstrs;
+      saved += rec.withCare.replaySavedInstrs;
+      // Fig. 9 phase aggregate over the CARE re-run's activations.
+      t.rollbackUs += rec.withCare.rollbackUsTotal;
+      t.recKeyUs += rec.withCare.keyUsTotal;
+      t.recLoadUs += rec.withCare.loadUsTotal;
+      t.recParamUs += rec.withCare.paramUsTotal;
+      t.recKernelUs += rec.withCare.kernelUsTotal;
+      t.recPatchUs += rec.withCare.patchUsTotal;
+      t.recTotalUs += rec.withCare.recoveryUsTotal;
+    }
+  }
+  t.simInstrs = instrs;
+  t.replaySavedInstrs = saved;
+  t.detectLatencyInstrs = t.detected ? detectLatencySum / t.detected : 0;
+  t.trialsPerSec = t.wallSec > 0 ? t.trials / t.wallSec : 0;
+  t.mips =
+      t.wallSec > 0 ? static_cast<double>(instrs) / 1e6 / t.wallSec : 0;
+  t.effectiveMips =
+      t.wallSec > 0 ? static_cast<double>(instrs + saved) / 1e6 / t.wallSec
+                    : 0;
 }
 
 std::vector<InjectionRecord> runCampaign(
     const Campaign& campaign, int injections, std::uint64_t seed,
     int threads,
     const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts,
-    CampaignTelemetry* telemetry) {
+    CampaignTelemetry* telemetry, const ServiceConfig* service) {
   // Pre-derive every injection point with the campaign RNG, in the exact
   // order the serial loop drew them; trial execution below consumes no
   // campaign randomness, so scheduling cannot perturb the points.
@@ -288,7 +320,6 @@ std::vector<InjectionRecord> runCampaign(
   points.reserve(static_cast<std::size_t>(injections < 0 ? 0 : injections));
   for (int i = 0; i < injections; ++i) points.push_back(campaign.sample(rng));
 
-  std::atomic<int> careReruns{0};
   const TrialFn trial = [&](int i, Rng&) {
     InjectionRecord rec;
     rec.point = points[static_cast<std::size_t>(i)];
@@ -301,16 +332,21 @@ std::vector<InjectionRecord> runCampaign(
       trace::Span careSpan("trial.care_rerun", "campaign");
       rec.haveCare = true;
       rec.withCare = campaign.runInjection(rec.point, careArtifacts);
-      careReruns.fetch_add(1, std::memory_order_relaxed);
     }
     return rec;
   };
-  std::vector<InjectionRecord> records =
-      runTrialPool(injections, seed, threads, trial, telemetry);
-  if (telemetry) {
-    telemetry->careReruns = careReruns.load();
-    telemetry->ckptCount = campaign.checkpoints().size();
+  // Direct callers (tests, benches) get the historical engine unless
+  // CARE_PROCS asks for forked workers; the result store stays off without
+  // an explicit key, which only runExperiment / carecc can supply.
+  ServiceConfig local;
+  if (!service) {
+    local.processes = resolveProcesses(kProcsAuto);
+    local.threads = threads;
+    service = &local;
   }
+  std::vector<InjectionRecord> records =
+      runShardedTrials(injections, seed, *service, trial, telemetry);
+  if (telemetry) telemetry->ckptCount = campaign.checkpoints().size();
   return records;
 }
 

@@ -16,7 +16,8 @@
 // Consequently the deterministic portion of every record (points, outcomes,
 // signals, latencies, CARE recovery results) is bit-for-bit identical to
 // the serial engine; only wall-clock microsecond timings vary, exactly as
-// they do between two serial runs. `threads` is a performance knob, not an
+// they do between two serial runs. `threads` — and `processes`, its
+// multi-process sibling (service.hpp) — is a performance knob, not an
 // experiment parameter, and deliberately stays out of the disk-cache key.
 #pragma once
 
@@ -31,14 +32,31 @@
 namespace care::inject {
 
 struct InjectionRecord; // experiment.hpp; broken cycle, see below
+struct ServiceConfig;   // service.hpp; ditto
 
 /// Per-campaign execution telemetry. Emitted so BENCH_*.json trajectories
 /// can track campaign throughput; never part of cached results.
 struct CampaignTelemetry {
+  /// "campaign" for the one-per-campaign summary record, or
+  /// "campaign_progress" for the streaming snapshots the multi-process
+  /// service emits while running. Only "campaign" records enter
+  /// campaignLog(); every record goes to the CARE_TELEMETRY sink.
+  std::string event = "campaign";
   std::string workload;        // empty for anonymous (carecc) campaigns
   std::string level;           // "O0" / "O1" / ""
   int trials = 0;
   int threads = 1;             // workers actually used
+  // Multi-process service + result store (DESIGN.md §4g); processes == 0
+  // means the in-process engine ran and the shard counters are all zero.
+  int processes = 0;           // forked worker processes
+  int shards = 0;              // work units the campaign was split into
+  int storeHits = 0;           // shards served from the result store
+  int storeMisses = 0;         // shards probed but recomputed
+  int shardsRequeued = 0;      // claims recovered from dead workers
+  int workerRestarts = 0;      // crashed workers respawned
+  int workersAlive = 0;        // live workers (progress events; 0 at end)
+  int trialsDone = 0;          // committed trials (progress events)
+  double etaSec = 0;           // remaining-work estimate (progress events)
   int careReruns = 0;          // SIGSEGV trials re-run with CARE attached
   bool fromCache = false;
   double wallSec = 0;
@@ -99,6 +117,10 @@ struct TelemetrySummary {
   int cacheHits = 0;
   int trials = 0;
   int threads = 0;          // max worker count used
+  int processes = 0;        // max forked-worker count used
+  int storeHits = 0;        // result-store shards served across campaigns
+  int storeMisses = 0;
+  int workerRestarts = 0;   // crashed workers respawned across campaigns
   double wallSec = 0;
   double workerBusySec = 0;
   std::uint64_t simInstrs = 0;
@@ -130,13 +152,29 @@ std::vector<InjectionRecord> runTrialPool(int trials, std::uint64_t seed,
                                           int threads, const TrialFn& fn,
                                           CampaignTelemetry* telemetry);
 
+/// Fill `t`'s record-derived aggregates (simInstrs, replaySavedInstrs,
+/// detection, recovery/rollback counters, Fig. 9 phase sums, and the
+/// wallSec-derived rates) from a finished record set. Semantic counters
+/// (detected, recoveries, rollbacks, careReruns, ...) aggregate over *all*
+/// records — they are deterministic record content; work/time counters
+/// (simInstrs, replaySavedInstrs, recovery-phase micros) aggregate only
+/// over trials executed this run, as flagged in `executed` (nullptr =
+/// everything executed), so store-served shards don't inflate throughput.
+/// Requires t.trials / t.threads / t.wallSec / t.workerBusySec to be set.
+void aggregateRecordTelemetry(const std::vector<InjectionRecord>& records,
+                              const std::vector<std::uint8_t>* executed,
+                              CampaignTelemetry& t);
+
 /// The experiment-harness campaign: pre-derive `injections` points from
 /// Rng(seed) in serial order, run each plain, and — when `careArtifacts`
 /// is non-null — re-run SIGSEGV soft failures with CARE attached.
+/// `service` selects the execution engine: nullptr resolves CARE_PROCS from
+/// the environment (store off) and otherwise behaves exactly like the
+/// historical in-process engine; see service.hpp for the full dispatch.
 std::vector<InjectionRecord> runCampaign(
     const Campaign& campaign, int injections, std::uint64_t seed,
     int threads,
     const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts,
-    CampaignTelemetry* telemetry);
+    CampaignTelemetry* telemetry, const ServiceConfig* service = nullptr);
 
 } // namespace care::inject

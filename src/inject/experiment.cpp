@@ -13,7 +13,10 @@ namespace care::inject {
 namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
-constexpr std::uint32_t kCacheVersion = 9; // v9: rollback recovery fields
+// v10: replaySavedInstrs joins the full-fidelity format (the multi-process
+// service ships records over pipes / the result store, and campaign
+// telemetry needs the replay savings to survive that trip).
+constexpr std::uint32_t kCacheVersion = kExperimentCacheVersion;
 /// Folded into the cache key only when Sentinel detectors are armed, so
 /// detector-off campaigns keep their pre-Sentinel paths and bytes while
 /// armed campaigns can never collide with stale detector-free entries.
@@ -55,6 +58,45 @@ std::string cachePath(const std::string& workload,
          h.finish().hex().substr(0, 12) + ".camp";
 }
 
+/// Semantic campaign key for the shard result store. Unlike cachePath it
+/// excludes the injection count — points are drawn sequentially from
+/// Rng(seed), so a longer campaign's leading shards are byte-identical to a
+/// shorter one's and overlapping campaigns share entries — and excludes the
+/// replay interval under non-rollback strategies, where it is a pure
+/// performance knob (under rollback strategies checkpoint placement changes
+/// trial semantics, so there it stays in). threads/processes never enter.
+std::string storeKeyBase(const std::string& workload,
+                         const ExperimentConfig& cfg,
+                         std::uint64_t ckptInterval,
+                         core::RecoveryStrategy recover,
+                         std::uint64_t rollbackRingCap) {
+  Md5 h;
+  h.update("care-experiment-shards");
+  h.update(workload);
+  h.update(cfg.level == opt::OptLevel::O0 ? "O0" : "O1");
+  const std::uint64_t nums[] = {cfg.bits, cfg.seed,
+                                cfg.careOnSegv ? 1u : 0u,
+                                cfg.armor.requireNonLocalUse ? 1u : 0u,
+                                cfg.armor.maximalSlicing ? 1u : 0u,
+                                cfg.patchBaseFirst ? 1u : 0u,
+                                cfg.armor.inductionRecovery ? 1u : 0u,
+                                static_cast<std::uint64_t>(recover),
+                                rollbackRingCap,
+                                kCacheVersion};
+  h.update(nums, sizeof(nums));
+  if (core::strategyRollsBack(recover)) {
+    const std::uint64_t ck[] = {ckptInterval};
+    h.update(ck, sizeof(ck));
+  }
+  if (const sentinel::DetectOptions det = cfg.armor.resolvedDetect();
+      det.any()) {
+    const std::uint64_t sent[] = {kSentinelCacheVersion, det.cfc ? 1u : 0u,
+                                  det.addr ? 1u : 0u};
+    h.update(sent, sizeof(sent));
+  }
+  return h.finish().hex();
+}
+
 void putInjectionResult(const InjectionResult& ir, ByteWriter& w,
                         bool withTimings) {
   w.u8(static_cast<std::uint8_t>(ir.outcome));
@@ -76,6 +118,10 @@ void putInjectionResult(const InjectionResult& ir, ByteWriter& w,
     w.f64(ir.paramUsTotal);
     w.f64(ir.patchUsTotal);
     w.f64(ir.rollbackUsTotal);
+    // Work-actually-done accounting, not a semantic outcome: varies with
+    // the replay-cache interval, so it travels only with the timinged
+    // format and stays out of the deterministic projection.
+    w.u64(ir.replaySavedInstrs);
   }
   w.u8(ir.outputMatchesGolden ? 1 : 0);
   w.str(ir.careFailReason);
@@ -114,6 +160,30 @@ void writeResult(const ExperimentResult& r, const std::string& path) {
   w.writeFile(path);
 }
 
+void getInjectionResult(ByteReader& r, InjectionResult& ir) {
+  ir.outcome = static_cast<Outcome>(r.u8());
+  ir.signal = static_cast<vm::TrapKind>(r.u8());
+  ir.latencyInstrs = r.u64();
+  ir.instrsExecuted = r.u64();
+  ir.injected = r.u8() != 0;
+  ir.survived = r.u8() != 0;
+  ir.careRecovered = r.u8() != 0;
+  ir.safeguardActivations = r.u64();
+  ir.ivAltRecoveries = r.u64();
+  ir.rollbacks = r.u64();
+  ir.rollbackReexecInstrs = r.u64();
+  ir.recoveryUsTotal = r.f64();
+  ir.kernelUsTotal = r.f64();
+  ir.keyUsTotal = r.f64();
+  ir.loadUsTotal = r.f64();
+  ir.paramUsTotal = r.f64();
+  ir.patchUsTotal = r.f64();
+  ir.rollbackUsTotal = r.f64();
+  ir.replaySavedInstrs = r.u64();
+  ir.outputMatchesGolden = r.u8() != 0;
+  ir.careFailReason = r.str();
+}
+
 std::optional<ExperimentResult> readResult(const std::string& path) {
   if (!std::filesystem::exists(path)) return std::nullopt;
   try {
@@ -125,42 +195,8 @@ std::optional<ExperimentResult> readResult(const std::string& path) {
     out.level = r.u8() == 0 ? opt::OptLevel::O0 : opt::OptLevel::O1;
     out.goldenInstrs = r.u64();
     const std::uint32_t n = r.u32();
-    auto getResult = [&](InjectionResult& ir) {
-      ir.outcome = static_cast<Outcome>(r.u8());
-      ir.signal = static_cast<vm::TrapKind>(r.u8());
-      ir.latencyInstrs = r.u64();
-      ir.instrsExecuted = r.u64();
-      ir.injected = r.u8() != 0;
-      ir.survived = r.u8() != 0;
-      ir.careRecovered = r.u8() != 0;
-      ir.safeguardActivations = r.u64();
-      ir.ivAltRecoveries = r.u64();
-      ir.rollbacks = r.u64();
-      ir.rollbackReexecInstrs = r.u64();
-      ir.recoveryUsTotal = r.f64();
-      ir.kernelUsTotal = r.f64();
-      ir.keyUsTotal = r.f64();
-      ir.loadUsTotal = r.f64();
-      ir.paramUsTotal = r.f64();
-      ir.patchUsTotal = r.f64();
-      ir.rollbackUsTotal = r.f64();
-      ir.outputMatchesGolden = r.u8() != 0;
-      ir.careFailReason = r.str();
-    };
-    for (std::uint32_t i = 0; i < n; ++i) {
-      InjectionRecord rec;
-      rec.point.loc.module = static_cast<std::int32_t>(r.u32());
-      rec.point.loc.func = static_cast<std::int32_t>(r.u32());
-      rec.point.loc.instr = static_cast<std::int32_t>(r.u32());
-      rec.point.nth = r.u64();
-      const std::uint32_t nb = r.u32();
-      for (std::uint32_t b = 0; b < nb; ++b)
-        rec.point.bits.push_back(r.u32());
-      getResult(rec.plain);
-      rec.haveCare = r.u8() != 0;
-      if (rec.haveCare) getResult(rec.withCare);
-      out.records.push_back(std::move(rec));
-    }
+    for (std::uint32_t i = 0; i < n; ++i)
+      out.records.push_back(readRecordBytes(r));
     return out;
   } catch (const Error&) {
     return std::nullopt; // stale/corrupt cache: regenerate
@@ -168,6 +204,24 @@ std::optional<ExperimentResult> readResult(const std::string& path) {
 }
 
 } // namespace
+
+void writeRecordBytes(const InjectionRecord& rec, ByteWriter& w) {
+  putRecord(rec, w, /*withTimings=*/true);
+}
+
+InjectionRecord readRecordBytes(ByteReader& r) {
+  InjectionRecord rec;
+  rec.point.loc.module = static_cast<std::int32_t>(r.u32());
+  rec.point.loc.func = static_cast<std::int32_t>(r.u32());
+  rec.point.loc.instr = static_cast<std::int32_t>(r.u32());
+  rec.point.nth = r.u64();
+  const std::uint32_t nb = r.u32();
+  for (std::uint32_t b = 0; b < nb; ++b) rec.point.bits.push_back(r.u32());
+  getInjectionResult(r, rec.plain);
+  rec.haveCare = r.u8() != 0;
+  if (rec.haveCare) getInjectionResult(r, rec.withCare);
+  return rec;
+}
 
 int ExperimentResult::count(Outcome o) const {
   int n = 0;
@@ -391,13 +445,20 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   Campaign campaign(built.image.get(), ccfg);
   if (!campaign.profile()) raise("workload failed to profile: " + w.name);
 
+  ServiceConfig svc;
+  svc.processes = resolveProcesses(cfg.processes);
+  svc.threads = cfg.threads;
+  svc.storeDir = cfg.resultStore ? *cfg.resultStore : resultStoreDirFromEnv();
+  if (!svc.storeDir.empty())
+    svc.storeKey = storeKeyBase(w.name, cfg, ckptInterval, recover, ringCap);
+
   ExperimentResult out;
   out.workload = w.name;
   out.level = cfg.level;
   out.goldenInstrs = campaign.goldenInstrs();
   out.records =
       runCampaign(campaign, cfg.injections, cfg.seed, cfg.threads,
-                  cfg.careOnSegv ? &built.artifacts : nullptr, &tel);
+                  cfg.careOnSegv ? &built.artifacts : nullptr, &tel, &svc);
   publishTelemetry(tel);
   writeResult(out, path);
   return out;

@@ -15,9 +15,16 @@
 
 #include "inject/engine.hpp"
 #include "inject/injector.hpp"
+#include "inject/service.hpp"
+#include "support/bytestream.hpp"
 #include "workloads/workloads.hpp"
 
 namespace care::inject {
+
+/// Version of the on-disk record wire format. Participates in the .camp
+/// cache key, the shard result-store key, and carecc's store key: bumping
+/// it invalidates every serialized record everywhere at once.
+inline constexpr std::uint32_t kExperimentCacheVersion = 10;
 
 struct ExperimentConfig {
   opt::OptLevel level = opt::OptLevel::O0;
@@ -40,6 +47,15 @@ struct ExperimentConfig {
   /// interval IS part of the disk-cache key, so equivalence suites can hold
   /// checkpointed and from-scratch results side by side in one cache dir.
   std::uint64_t ckptInterval = CampaignConfig::kCkptAuto;
+  /// Forked worker processes (DESIGN.md §4g): kProcsAuto resolves
+  /// CARE_PROCS, 0 = in-process engine. Like `threads`, a pure performance
+  /// knob — identical records for every value, NOT part of any cache key.
+  int processes = kProcsAuto;
+  /// Shard result-store directory: nullopt resolves CARE_RESULT_STORE,
+  /// empty string forces the store off. Serving a shard from the store is
+  /// record-identical to recomputing it, so this too stays out of the
+  /// .camp cache key.
+  std::optional<std::string> resultStore;
 };
 
 /// One injection's record: the plain outcome plus (for SIGSEGV injections
@@ -126,6 +142,13 @@ std::vector<std::uint8_t> serializeDeterministic(const ExperimentResult& r);
 /// (rollback only engages after a repair failure).
 std::vector<std::uint8_t> serializeDeterministicRecord(
     const InjectionRecord& rec);
+
+/// Full-fidelity (timings included) record wire format, version
+/// kExperimentCacheVersion — the unit the .camp cache, the shard result
+/// store, and the multi-process service's pipe frames all carry.
+/// readRecordBytes throws care::Error on truncation.
+void writeRecordBytes(const InjectionRecord& rec, ByteWriter& w);
+InjectionRecord readRecordBytes(ByteReader& r);
 
 /// Also expose the compile step so compile-stat benches (Tables 5/8) share
 /// the flow without a campaign.

@@ -54,7 +54,9 @@ struct InjectionResult {
                                     // the replay cache skipped the prefix
   /// Golden-prefix instructions the replay cache fast-forwarded over (0
   /// when checkpointing is off or no checkpoint precedes the fault site).
-  /// Telemetry only: never serialized, absent from cache hits.
+  /// Work accounting, not a semantic outcome: carried by the full-fidelity
+  /// wire format (pipes / caches) but excluded from the deterministic
+  /// projection, since it varies with the replay interval.
   std::uint64_t replaySavedInstrs = 0;
   bool injected = false;           // the point was actually reached
   // CARE-specific:

@@ -1,0 +1,61 @@
+// Content-addressed on-disk result store for campaign shards (DESIGN.md §4g).
+//
+// The experiment harness already caches *whole* campaigns (.camp files keyed
+// by their full configuration). The result store works below that, at shard
+// granularity: every committed shard of trials [start, start+count) is
+// written under a *semantic* campaign key that deliberately excludes the
+// injection count — trials are drawn sequentially from Rng(seed), so a
+// 2000-trial campaign shares its first shards with a 400-trial one — and
+// excludes every pure performance knob (threads, processes, and the replay
+// interval under non-rollback strategies). Repeated or overlapping campaigns
+// across runs therefore *resume* instead of recompute.
+//
+// Robustness contract: a truncated, corrupted, version-mismatched or
+// wrong-key entry is a miss, never an error — load() returns nullopt and the
+// shard is recomputed (and the entry rewritten). Writes go through a
+// temporary file + rename so a crashed writer can only ever leave a *.tmp
+// turd, not a torn entry.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "inject/experiment.hpp"
+
+namespace care::inject {
+
+class ResultStore {
+public:
+  static constexpr std::uint32_t kMagic = 0x54535243; // "CRST"
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// A store rooted at `dir` for the campaign identified by `key` (the
+  /// storeKeyBase hex digest). Empty dir or key disables the store; a
+  /// usable store creates `dir` eagerly.
+  ResultStore(std::string dir, std::string key);
+
+  bool enabled() const { return enabled_; }
+  const std::string& key() const { return key_; }
+
+  /// Entry file for trials [start, start+count).
+  std::string entryPath(int start, int count) const;
+
+  /// Load a shard. Any anomaly — missing file, short file, bad magic /
+  /// version / key / bounds, md5 trailer mismatch, trailing garbage —
+  /// returns nullopt (a miss).
+  std::optional<std::vector<InjectionRecord>> load(int start, int count) const;
+
+  /// Write a shard atomically (tmp + rename). Best effort: returns false on
+  /// I/O failure without throwing — the store is an accelerator, never a
+  /// correctness dependency.
+  bool save(int start, int count,
+            const std::vector<InjectionRecord>& records) const;
+
+private:
+  std::string dir_;
+  std::string key_;
+  bool enabled_ = false;
+};
+
+} // namespace care::inject

@@ -1,0 +1,134 @@
+#include "support/shm.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <new>
+
+#include "support/error.hpp"
+
+namespace care {
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "ShmQueue requires address-free lock-free 64-bit atomics");
+
+SharedRegion::SharedRegion(std::size_t bytes) {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t ps = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  size_ = (bytes + ps - 1) / ps * ps;
+  if (size_ == 0) size_ = ps;
+  void* p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    size_ = 0;
+    raise("SharedRegion: mmap failed");
+  }
+  mem_ = p;
+}
+
+SharedRegion::~SharedRegion() {
+  if (mem_) ::munmap(mem_, size_);
+}
+
+SharedRegion::SharedRegion(SharedRegion&& o) noexcept
+    : mem_(o.mem_), size_(o.size_) {
+  o.mem_ = nullptr;
+  o.size_ = 0;
+}
+
+SharedRegion& SharedRegion::operator=(SharedRegion&& o) noexcept {
+  if (this != &o) {
+    if (mem_) ::munmap(mem_, size_);
+    mem_ = o.mem_;
+    size_ = o.size_;
+    o.mem_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+namespace {
+
+std::size_t roundPow2(std::size_t n) {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+} // namespace
+
+std::size_t ShmQueue::bytesFor(std::size_t capacity) {
+  return sizeof(ShmQueue) + roundPow2(capacity < 2 ? 2 : capacity) *
+                                sizeof(Slot);
+}
+
+ShmQueue::ShmQueue(std::size_t cap) : cap_(cap), mask_(cap - 1) {
+  tail_.store(0, std::memory_order_relaxed);
+  head_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < cap_; ++i) {
+    Slot* s = new (slots() + i) Slot;
+    // A slot is pushable for ticket t when seq == t: seed slot i with i so
+    // the first lap's tickets 0..cap-1 find their slots empty.
+    s->seq.store(i, std::memory_order_relaxed);
+    s->value = 0;
+  }
+}
+
+ShmQueue* ShmQueue::init(void* mem, std::size_t capacity) {
+  CARE_ASSERT(mem != nullptr, "ShmQueue::init on null memory");
+  CARE_ASSERT(reinterpret_cast<std::uintptr_t>(mem) % alignof(ShmQueue) == 0,
+              "ShmQueue::init on under-aligned memory");
+  return new (mem) ShmQueue(roundPow2(capacity < 2 ? 2 : capacity));
+}
+
+bool ShmQueue::push(std::uint64_t v) {
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& s = slots()[pos & mask_];
+    const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      // Slot is empty for this ticket: claim the ticket, then publish the
+      // value by advancing the slot's sequence count past it.
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed))
+        {
+          s.value = v;
+          s.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+    } else if (dif < 0) {
+      return false; // a full lap behind: queue is full
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ShmQueue::pop(std::uint64_t& out) {
+  std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& s = slots()[pos & mask_];
+    const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+    const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                             static_cast<std::int64_t>(pos + 1);
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed))
+        {
+          out = s.value;
+          // Release the slot for the producer one lap ahead.
+          s.seq.store(pos + cap_, std::memory_order_release);
+          return true;
+        }
+    } else if (dif < 0) {
+      return false; // value not published yet: queue is (transiently) empty
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+} // namespace care

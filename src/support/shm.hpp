@@ -1,0 +1,93 @@
+// Shared-memory primitives for the multi-process campaign service.
+//
+// The campaign coordinator forks worker *processes* (DESIGN.md §4g): a
+// worker that dies — crash, SIGKILL, or one of our own escaped faults —
+// must not take the campaign with it, so coordination state lives in an
+// anonymous MAP_SHARED region created before the fork. Two pieces:
+//
+//  * SharedRegion — RAII wrapper over an anonymous shared mapping. Both
+//    sides see the same physical pages; the region needs no name, no file,
+//    and no cleanup beyond munmap (the kernel frees it with the last
+//    mapping).
+//  * ShmQueue — a bounded lock-free MPMC queue of u64 values laid out
+//    *inside* such a region. Each slot pairs a monotonically increasing
+//    sequence count with the value (the count/value scheme classically
+//    done with one cmpxchg16b on x86-64; splitting the pair into a 64-bit
+//    atomic sequence plus a plain value word published by that sequence is
+//    the address-free equivalent and needs only always-lock-free 64-bit
+//    atomics, which work across processes). Producers and consumers on
+//    different processes never block each other; a process killed between
+//    a cursor claim and its sequence publication wedges only its own slot,
+//    which the coordinator's end-game sweep tolerates by construction
+//    (see service.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace care {
+
+/// Anonymous MAP_SHARED|MAP_ANONYMOUS mapping, inherited across fork().
+/// Movable, not copyable; unmaps on destruction.
+class SharedRegion {
+public:
+  SharedRegion() = default;
+  /// Maps `bytes` (rounded up to page size) of zeroed shared memory.
+  /// Throws care::Error when the mapping fails.
+  explicit SharedRegion(std::size_t bytes);
+  ~SharedRegion();
+  SharedRegion(SharedRegion&& o) noexcept;
+  SharedRegion& operator=(SharedRegion&& o) noexcept;
+  SharedRegion(const SharedRegion&) = delete;
+  SharedRegion& operator=(const SharedRegion&) = delete;
+
+  void* data() const { return mem_; }
+  std::size_t size() const { return size_; }
+  explicit operator bool() const { return mem_ != nullptr; }
+
+private:
+  void* mem_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Bounded lock-free MPMC queue of u64 values, placement-constructed into
+/// caller-provided (typically shared) memory. Capacity is rounded up to a
+/// power of two. push() fails (returns false) when full, pop() when empty;
+/// neither ever blocks. All cursor/sequence words are std::atomic<u64>,
+/// which is address-free and always lock-free on every supported target —
+/// the static_asserts in shm.cpp pin that down.
+class ShmQueue {
+public:
+  /// Bytes a queue of at least `capacity` values needs (header + slots).
+  static std::size_t bytesFor(std::size_t capacity);
+
+  /// Placement-construct a queue of at least `capacity` values at `mem`
+  /// (which must hold bytesFor(capacity) bytes and be 8-aligned).
+  static ShmQueue* init(void* mem, std::size_t capacity);
+
+  bool push(std::uint64_t v);
+  bool pop(std::uint64_t& out);
+
+  std::size_t capacity() const { return cap_; }
+  /// Total successful push()es / pop()es so far (monotonic; approximate
+  /// only in the sense that they race with in-flight operations).
+  std::uint64_t pushed() const { return tail_.load(std::memory_order_relaxed); }
+  std::uint64_t popped() const { return head_.load(std::memory_order_relaxed); }
+
+private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq;
+    std::uint64_t value;
+  };
+
+  ShmQueue(std::size_t cap);
+  Slot* slots() { return reinterpret_cast<Slot*>(this + 1); }
+
+  std::uint64_t cap_;
+  std::uint64_t mask_;
+  alignas(64) std::atomic<std::uint64_t> tail_; // next push ticket
+  alignas(64) std::atomic<std::uint64_t> head_; // next pop ticket
+};
+
+} // namespace care

@@ -1,0 +1,160 @@
+// Multi-process campaign service equivalence tests (DESIGN.md §4g).
+//
+// The service's contract is the same one the threaded engine states, but
+// across address spaces: shard the trials over forked worker processes,
+// stream the records back over pipes, and the merged campaign is
+// byte-for-byte identical to the serial engine — including when a worker is
+// SIGKILLed mid-shard and the coordinator has to requeue and respawn.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "inject/experiment.hpp"
+#include "inject/service.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace care::test {
+namespace {
+
+using inject::ExperimentConfig;
+using inject::runExperiment;
+
+ExperimentConfig baseConfig(const std::string& dir) {
+  ExperimentConfig cfg;
+  cfg.level = opt::OptLevel::O0;
+  cfg.injections = 48;
+  cfg.seed = 321;
+  cfg.cacheDir = dir;
+  cfg.threads = 1;
+  cfg.armor.detectAuto = false;  // pin: CARE_DETECT must not leak in
+  cfg.armor.recoverAuto = false; // pin: CARE_RECOVER must not leak in
+  cfg.processes = 0;             // pin: CARE_PROCS resolved per test
+  cfg.resultStore = "";          // pin: CARE_RESULT_STORE off per default
+  return cfg;
+}
+
+TEST(MultiprocessCampaign, ForkedWorkersMatchSerialByteForByte) {
+  // Two workloads, plain repair-only configuration.
+  for (const workloads::Workload* w :
+       {&workloads::gtcp(), &workloads::hpccg()}) {
+    const std::string dir =
+        "care_test_artifacts/mp_match_" + w->name;
+    std::filesystem::remove_all(dir);
+    const auto serial = runExperiment(*w, baseConfig(dir));
+    std::filesystem::remove_all(dir); // force a fresh, non-cached rerun
+    auto cfg = baseConfig(dir);
+    cfg.processes = 3;
+    inject::CampaignTelemetry tel;
+    const auto forked = runExperiment(*w, cfg, &tel);
+    EXPECT_FALSE(tel.fromCache);
+    EXPECT_EQ(tel.processes, 3);
+    EXPECT_GT(tel.shards, 0);
+    EXPECT_EQ(tel.trials, 48);
+    EXPECT_EQ(inject::serializeDeterministic(serial),
+              inject::serializeDeterministic(forked))
+        << w->name;
+  }
+}
+
+TEST(MultiprocessCampaign, DetectorsAndRollbackArmedStayBitIdentical) {
+  // The hardest configuration: Sentinel detectors armed AND the rollback
+  // strategy live, so worker processes carry detector traps, checkpoint
+  // restores and re-execution counts back over the pipes.
+  const std::string dir = "care_test_artifacts/mp_armed";
+  std::filesystem::remove_all(dir);
+  auto armed = baseConfig(dir);
+  armed.injections = 80;
+  armed.armor.detect.cfc = armed.armor.detect.addr = true;
+  armed.armor.recover = core::RecoveryStrategy::RepairThenRollback;
+  armed.ckptInterval = 3000;
+  inject::CampaignTelemetry telS, telF;
+  const auto serial = runExperiment(workloads::gtcp(), armed, &telS);
+  std::filesystem::remove_all(dir);
+  auto forkedCfg = armed;
+  forkedCfg.processes = 4;
+  const auto forked = runExperiment(workloads::gtcp(), forkedCfg, &telF);
+  EXPECT_EQ(inject::serializeDeterministic(serial),
+            inject::serializeDeterministic(forked));
+  // Semantic telemetry survives the pipe trip: both engines agree on what
+  // the campaign *was*, not just on the record bytes.
+  EXPECT_EQ(telS.detected, telF.detected);
+  EXPECT_EQ(telS.recoveries, telF.recoveries);
+  EXPECT_EQ(telS.rollbacks, telF.rollbacks);
+  EXPECT_EQ(telS.rollbackReexecInstrs, telF.rollbackReexecInstrs);
+  EXPECT_EQ(telS.careReruns, telF.careReruns);
+}
+
+TEST(MultiprocessCampaign, OneProcessEqualsInProcessEngine) {
+  const std::string dir = "care_test_artifacts/mp_one";
+  std::filesystem::remove_all(dir);
+  const auto inproc = runExperiment(workloads::gtcp(), baseConfig(dir));
+  std::filesystem::remove_all(dir);
+  auto cfg = baseConfig(dir);
+  cfg.processes = 1;
+  const auto oneProc = runExperiment(workloads::gtcp(), cfg);
+  EXPECT_EQ(inject::serializeDeterministic(inproc),
+            inject::serializeDeterministic(oneProc));
+}
+
+TEST(MultiprocessCampaign, WorkerKilledMidShardStillCompletesIdentically) {
+  const std::string dir = "care_test_artifacts/mp_kill";
+  std::filesystem::remove_all(dir);
+  const auto cfg = baseConfig(dir);
+  inject::BuiltWorkload built =
+      inject::buildWorkload(workloads::gtcp(), cfg);
+  inject::CampaignConfig ccfg;
+  ccfg.seed = cfg.seed;
+  ccfg.bitsToFlip = cfg.bits;
+  ccfg.hangFactor = 4;
+  inject::Campaign campaign(built.image.get(), ccfg);
+  ASSERT_TRUE(campaign.profile());
+
+  inject::ServiceConfig serialSvc;
+  serialSvc.processes = 0;
+  serialSvc.threads = 1;
+  const auto reference =
+      inject::runCampaign(campaign, 48, cfg.seed, 1, &built.artifacts, nullptr,
+                  &serialSvc);
+
+  inject::ServiceConfig killSvc;
+  killSvc.processes = 3;
+  killSvc.threads = 1;
+  killSvc.shardSize = 8;
+  killSvc.testKillAtTrial = 10; // SIGKILL the worker holding shard 1
+  inject::CampaignTelemetry tel;
+  const auto survived =
+      inject::runCampaign(campaign, 48, cfg.seed, 1, &built.artifacts, &tel,
+                  &killSvc);
+  EXPECT_GE(tel.workerRestarts, 1);
+  EXPECT_GE(tel.shardsRequeued, 1);
+  ASSERT_EQ(reference.size(), survived.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(inject::serializeDeterministicRecord(reference[i]),
+              inject::serializeDeterministicRecord(survived[i]))
+        << "trial " << i;
+}
+
+TEST(MultiprocessCampaign, ResultStoreComposesWithForkedWorkers) {
+  const std::string dir = "care_test_artifacts/mp_store";
+  const std::string storeDir = dir + "/store";
+  const std::string cacheDir = dir + "/cache";
+  std::filesystem::remove_all(dir);
+  auto cfg = baseConfig(cacheDir);
+  cfg.processes = 2;
+  cfg.resultStore = storeDir;
+  inject::CampaignTelemetry cold, warm;
+  const auto first = runExperiment(workloads::gtcp(), cfg, &cold);
+  EXPECT_EQ(cold.storeHits, 0);
+  EXPECT_GT(cold.storeMisses, 0);
+  std::filesystem::remove_all(cacheDir); // drop the .camp cache, keep store
+  const auto second = runExperiment(workloads::gtcp(), cfg, &warm);
+  EXPECT_FALSE(warm.fromCache);
+  EXPECT_EQ(warm.storeMisses, 0);
+  EXPECT_EQ(warm.storeHits, warm.shards);
+  EXPECT_EQ(inject::serializeDeterministic(first),
+            inject::serializeDeterministic(second));
+}
+
+} // namespace
+} // namespace care::test

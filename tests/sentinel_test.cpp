@@ -216,7 +216,9 @@ TEST(Sentinel, ArmedAndDisarmedCampaignsGetDistinctCaches) {
 // careOnSegv on, default Armor knobs) and re-recorded when the rollback
 // strategy fields entered record serialization (kCacheVersion 9; the new
 // fields are all zero under the pinned repair-only strategy, but they
-// shift the byte layout).
+// shift the byte layout), then again when replaySavedInstrs joined the
+// full-fidelity format (kCacheVersion 10 — only the serialized version
+// word changes in this detector-off, timing-free projection).
 TEST(Sentinel, DisarmedCampaignBytesMatchPreDetectorGoldens) {
   struct Golden {
     const char* workload;
@@ -224,16 +226,16 @@ TEST(Sentinel, DisarmedCampaignBytesMatchPreDetectorGoldens) {
     const char* md5;
   };
   static const Golden kGoldens[] = {
-      {"HPCCG", "O0", "63a5e34a087f7f4f132d8b11a3762be5"},
-      {"HPCCG", "O1", "862b3a3860df3f87ce0207b871f1385c"},
-      {"CoMD", "O0", "1a5602b18bd1361beb8017ba7e0a3aec"},
-      {"CoMD", "O1", "eedb56ddd72a19d145d92ee1cee19b3a"},
-      {"miniFE", "O0", "20a946708ea1017fd6722727c617e2f5"},
-      {"miniFE", "O1", "705efe13dea06316e22872c97a8c7023"},
-      {"miniMD", "O0", "27f11f818a872b219059d2ad1c5d6a5f"},
-      {"miniMD", "O1", "cdf8883f0dbe68cd09392d66871f676e"},
-      {"GTC-P", "O0", "790522a8d5ee76e539d9474ebabf025b"},
-      {"GTC-P", "O1", "27c8417e21966d2fa7ab5d885fe92ec7"},
+      {"HPCCG", "O0", "bd4cba1987dd2432cfaaa85c8b4b60bb"},
+      {"HPCCG", "O1", "b831a86668bf43be432e435eb715f868"},
+      {"CoMD", "O0", "48912d2510f7efc70d44d883cbacf774"},
+      {"CoMD", "O1", "582a60bbdffc45b71e06cc00b8cc85c1"},
+      {"miniFE", "O0", "e10effa543f74d2c348423f566633d31"},
+      {"miniFE", "O1", "59c88b21d161dc61fe51c6728636980a"},
+      {"miniMD", "O0", "7c3bf0b41c51585b6de188913f9d0e95"},
+      {"miniMD", "O1", "87b088a98663071d1fb85a19e4ef99db"},
+      {"GTC-P", "O0", "a18b3170f94a157c0576866f3ed25446"},
+      {"GTC-P", "O1", "896f79f40e782e6ea0cf63256d232ea9"},
   };
   const std::string dir = "care_test_artifacts/sentinel_goldens";
   std::filesystem::remove_all(dir);

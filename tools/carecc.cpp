@@ -22,6 +22,7 @@
 #include "ir/printer.hpp"
 #include "ir/serialize.hpp"
 #include "sentinel/sentinel.hpp"
+#include "support/md5.hpp"
 #include "support/rng.hpp"
 #include "support/trace.hpp"
 #include "vm/checkpoint_ring.hpp"
@@ -39,6 +40,9 @@ struct Args {
   int injections = 200;
   std::uint64_t seed = 2026;
   int threads = 0; // 0 = hardware concurrency
+  int procs = inject::kProcsAuto; // --procs pins it (CARE_PROCS ignored)
+  bool resultStoreGiven = false;  // --result-store pins it likewise
+  std::string resultStore;
   std::uint64_t ckptInterval = inject::CampaignConfig::kCkptAuto;
   bool withCare = true;
   bool inductionRecovery = false;
@@ -59,6 +63,14 @@ void usage() {
                "  -s <seed>          campaign seed\n"
                "  -j <threads>       campaign workers (0 = all cores; any\n"
                "                     value yields identical results)\n"
+               "  --procs=<n>        forked worker processes for the\n"
+               "                     campaign (crash-isolated; 0 = in-\n"
+               "                     process engine; default CARE_PROCS or\n"
+               "                     0; any value yields identical results)\n"
+               "  --result-store=<d> shard result-store directory: repeated\n"
+               "                     or overlapping campaigns resume from\n"
+               "                     previously computed shards (default\n"
+               "                     CARE_RESULT_STORE; empty = off)\n"
                "  --ckpt-interval <n> replay-cache segment length in instrs\n"
                "                     (0 = off; default CARE_CKPT_INTERVAL or\n"
                "                     golden/64; any value yields identical\n"
@@ -243,15 +255,54 @@ int cmdInject(const Args& a) {
                 static_cast<unsigned long long>(campaign.checkpointInterval()));
 
   // Pre-derive the points in serial order, then shard the trials over the
-  // worker pool; counts are identical for every -j value.
+  // worker pool; counts are identical for every -j / --procs value.
   Rng rng(a.seed);
   std::vector<inject::InjectionPoint> points;
   points.reserve(static_cast<std::size_t>(a.injections));
   for (int i = 0; i < a.injections; ++i) points.push_back(campaign.sample(rng));
+
+  inject::ServiceConfig svc;
+  svc.processes = inject::resolveProcesses(a.procs);
+  svc.threads = a.threads;
+  svc.storeDir =
+      a.resultStoreGiven ? a.resultStore : inject::resultStoreDirFromEnv();
+  if (!svc.storeDir.empty()) {
+    // Semantic store key for an ad-hoc program: the source text plus every
+    // knob that changes trial records — but not the trial count or any
+    // performance knob, so longer reruns resume from shorter ones.
+    core::ArmorOptions armor;
+    armor.inductionRecovery = a.inductionRecovery;
+    if (a.detectGiven) {
+      armor.detect = a.detect;
+      armor.detectAuto = false;
+    }
+    const sentinel::DetectOptions det = armor.resolvedDetect();
+    Md5 h;
+    h.update("carecc-inject");
+    h.update(slurp(a.file));
+    h.update(a.entry);
+    const std::uint64_t nums[] = {
+        static_cast<std::uint64_t>(inject::kExperimentCacheVersion),
+        a.level == opt::OptLevel::O0 ? 0u : 1u,
+        a.seed,
+        a.withCare ? 1u : 0u,
+        a.inductionRecovery ? 1u : 0u,
+        det.cfc ? 1u : 0u,
+        det.addr ? 1u : 0u,
+        static_cast<std::uint64_t>(ccfg.recover),
+        ccfg.rollbackRingCap};
+    h.update(nums, sizeof(nums));
+    if (core::strategyRollsBack(ccfg.recover)) {
+      const std::uint64_t ck[] = {campaign.checkpointInterval()};
+      h.update(ck, sizeof(ck));
+    }
+    svc.storeKey = h.finish().hex();
+  }
+
   inject::CampaignTelemetry tel;
   tel.workload = a.file;
-  const auto records = inject::runTrialPool(
-      a.injections, a.seed, a.threads,
+  const auto records = inject::runShardedTrials(
+      a.injections, a.seed, svc,
       [&](int i, Rng&) {
         inject::InjectionRecord rec;
         rec.point = points[static_cast<std::size_t>(i)];
@@ -306,6 +357,13 @@ int cmdInject(const Args& a) {
               "threads=%d, utilization %.0f%%\n",
               tel.wallSec, tel.trialsPerSec, tel.mips, tel.threads,
               100.0 * tel.utilization);
+  if (tel.processes > 0 || tel.storeHits + tel.storeMisses > 0)
+    std::printf("service    : procs=%d, %d shards, store %d hit%s / %d "
+                "miss%s, %d requeued, %d restarts\n",
+                tel.processes, tel.shards, tel.storeHits,
+                tel.storeHits == 1 ? "" : "s", tel.storeMisses,
+                tel.storeMisses == 1 ? "" : "es", tel.shardsRequeued,
+                tel.workerRestarts);
   if (tel.replaySavedInstrs > 0)
     std::printf("replay     : %llu prefix instrs skipped "
                 "(%.1f effective MIPS)\n",
@@ -335,6 +393,12 @@ int main(int argc, char** argv) {
     else if (s == "-n") a.injections = std::atoi(next().c_str());
     else if (s == "-s") a.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (s == "-j") a.threads = std::atoi(next().c_str());
+    else if (s.rfind("--procs=", 0) == 0)
+      a.procs = std::atoi(s.c_str() + std::strlen("--procs="));
+    else if (s.rfind("--result-store=", 0) == 0) {
+      a.resultStoreGiven = true;
+      a.resultStore = s.substr(std::strlen("--result-store="));
+    }
     else if (s == "--ckpt-interval")
       a.ckptInterval = std::strtoull(next().c_str(), nullptr, 10);
     else if (s == "--interp=ref") vm::setDefaultInterp(vm::InterpKind::Ref);
