@@ -52,9 +52,9 @@ inline void footer() {
               s.campaigns, s.cacheHits);
   if (s.campaigns > 0)
     std::printf("; %d trials in %.2fs wall (%.1f trials/s, %.1f MIPS, "
-                "threads=%d, utilization %.0f%%)",
-                s.trials, s.wallSec, s.trialsPerSec(), s.mips(), s.threads,
-                100.0 * s.utilization());
+                "interp=%s, threads=%d, utilization %.0f%%)",
+                s.trials, s.wallSec, s.trialsPerSec(), s.mips(),
+                s.interp.c_str(), s.threads, 100.0 * s.utilization());
   std::printf("\n");
 }
 

@@ -77,6 +77,8 @@ std::string CampaignTelemetry::json() const {
   out += jsonEscape(workload);
   out += "\",\"level\":\"";
   out += jsonEscape(level);
+  out += "\",\"interp\":\"";
+  out += jsonEscape(interp);
   out += "\",";
   jsonField(out, "trials", "%d,", trials);
   jsonField(out, "threads", "%d,", threads);
@@ -179,6 +181,7 @@ TelemetrySummary telemetrySummary() {
     s.workerRestarts += t.workerRestarts;
     if (t.threads > s.threads) s.threads = t.threads;
     if (t.processes > s.processes) s.processes = t.processes;
+    s.interp = t.interp;
   }
   return s;
 }

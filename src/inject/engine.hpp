@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "inject/injector.hpp"
+#include "vm/executor.hpp"
 
 namespace care::inject {
 
@@ -44,6 +45,10 @@ struct CampaignTelemetry {
   std::string event = "campaign";
   std::string workload;        // empty for anonymous (carecc) campaigns
   std::string level;           // "O0" / "O1" / ""
+  /// Resolved interpreter backend ("ref"/"fast"/"jit") captured when the
+  /// record is created. Telemetry-only: the backends are bit-identical, so
+  /// the backend is deliberately NOT part of the experiment cache key.
+  std::string interp = vm::interpName(vm::defaultInterp());
   int trials = 0;
   int threads = 1;             // workers actually used
   // Multi-process service + result store (DESIGN.md §4g); processes == 0
@@ -118,6 +123,7 @@ struct TelemetrySummary {
   int trials = 0;
   int threads = 0;          // max worker count used
   int processes = 0;        // max forked-worker count used
+  std::string interp;       // backend of the last executed campaign
   int storeHits = 0;        // result-store shards served across campaigns
   int storeMisses = 0;
   int workerRestarts = 0;   // crashed workers respawned across campaigns

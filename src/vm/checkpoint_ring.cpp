@@ -50,26 +50,23 @@ std::size_t rollbackRingFromEnv(std::size_t fallback) {
 RunResult runCheckpointed(Executor& ex, const std::string& entry,
                           std::uint64_t interval, std::uint64_t finalBudget,
                           const std::function<void(Executor&)>& onBoundary) {
-  if (interval == 0) {
-    ex.setBudget(finalBudget);
-    return runToCompletion(ex, entry);
-  }
-  // Entry boundary: with the budget already met, run() performs its entry
-  // setup (frame, halt sentinel) and returns BudgetExceeded before
+  ex.setBudget(finalBudget);
+  if (interval == 0) return runToCompletion(ex, entry);
+  // Entry boundary: with the stop bound already met, run() performs its
+  // entry setup (frame, halt sentinel) and returns BudgetExceeded before
   // executing an instruction — the resulting position is started and
-  // restorable, unlike a never-run executor's.
-  ex.setBudget(ex.instrCount());
-  RunResult r = ex.run(entry);
+  // restorable, unlike a never-run executor's. runBounded() is the shared
+  // exact-stop mechanism (the replay cache uses it too), so the segment
+  // boundaries land on the same instructions on every backend.
+  RunResult r = ex.runBounded(ex.instrCount(), entry);
   if (r.status != RunStatus::BudgetExceeded) return r;
   onBoundary(ex);
   for (std::uint64_t next = ex.instrCount() + interval; next < finalBudget;
        next += interval) {
-    ex.setBudget(next);
-    r = runToCompletion(ex, entry);
+    r = ex.runBounded(next, entry);
     if (r.status != RunStatus::BudgetExceeded) return r;
     onBoundary(ex);
   }
-  ex.setBudget(finalBudget);
   return runToCompletion(ex, entry);
 }
 

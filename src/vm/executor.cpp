@@ -34,19 +34,34 @@ namespace {
 // -1 = no override: fall back to the CARE_INTERP environment variable.
 std::atomic<int> gInterpOverride{-1};
 
-InterpKind interpFromEnv() {
-  const char* e = std::getenv("CARE_INTERP");
-  if (e && std::string_view(e) == "ref") return InterpKind::Ref;
-  return InterpKind::Fast;
+} // namespace
+
+InterpKind parseInterp(std::string_view name) {
+  if (name == "ref") return InterpKind::Ref;
+  if (name == "fast") return InterpKind::Fast;
+  if (name == "jit") return InterpKind::Jit;
+  throw Error("unknown interpreter backend '" + std::string(name) +
+              "' (expected one of: ref, fast, jit)");
 }
 
-} // namespace
+const char* interpName(InterpKind k) {
+  switch (k) {
+  case InterpKind::Ref: return "ref";
+  case InterpKind::Fast: return "fast";
+  case InterpKind::Jit: return "jit";
+  }
+  return "?";
+}
 
 InterpKind defaultInterp() {
   const int o = gInterpOverride.load(std::memory_order_relaxed);
   if (o >= 0) return static_cast<InterpKind>(o);
-  static const InterpKind fromEnv = interpFromEnv();
-  return fromEnv;
+  // Re-read the environment every time (no static cache): tests and the
+  // campaign service flip CARE_INTERP between runs, and an unknown value
+  // must fail loudly whenever an Executor is actually constructed.
+  const char* e = std::getenv("CARE_INTERP");
+  if (e && *e) return parseInterp(e);
+  return InterpKind::Fast;
 }
 
 void setDefaultInterp(InterpKind k) {
@@ -166,7 +181,17 @@ RunResult Executor::run(const std::string& entry) {
     mem_.store(st_.g[backend::kSP], MType::I64, Image::kHaltPC);
     started_ = true;
   }
-  return interp_ == InterpKind::Ref ? runReference() : runFast();
+  if (interp_ == InterpKind::Ref) return runReference();
+  if (interp_ == InterpKind::Jit) return runJit();
+  return runFast();
+}
+
+RunResult Executor::runBounded(std::uint64_t stopAt, const std::string& entry) {
+  stopAt_ = stopAt;
+  RunResult res = run(entry);
+  while (res.status == RunStatus::Yielded) res = run(entry);
+  stopAt_ = ~0ull;
+  return res;
 }
 
 // The original big-switch loop, kept verbatim in structure as the executable
@@ -179,7 +204,7 @@ RunResult Executor::runReference() {
   auto* f = st_.f;
 
   for (;;) {
-    if (instrCount_ >= budget_) {
+    if (instrCount_ >= (budget_ < stopAt_ ? budget_ : stopAt_)) {
       res.status = RunStatus::BudgetExceeded;
       res.instrCount = instrCount_;
       return res;

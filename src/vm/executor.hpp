@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "vm/loader.hpp"
@@ -52,11 +53,20 @@ struct RunResult {
 
 /// Which interpreter loop run() uses. Fast is the predecoded token-threaded
 /// dispatcher; Ref is the original big-switch loop, kept as the executable
-/// specification the fast path is differentially tested against.
-enum class InterpKind : std::uint8_t { Fast, Ref };
+/// specification the fast path is differentially tested against; Jit is the
+/// mixed-mode template-JIT driver (native hot blocks, fast-interpreter
+/// fallback for cold code and budget boundaries).
+enum class InterpKind : std::uint8_t { Fast, Ref, Jit };
 
-/// Process-wide default for new Executors: CARE_INTERP=ref|fast, overridden
-/// by setDefaultInterp() (carecc --interp=...).
+/// Parse a backend name ("ref" | "fast" | "jit"). Throws care::Error naming
+/// the accepted values on anything else — both carecc --interp and
+/// CARE_INTERP reject unknown backends instead of silently falling back.
+InterpKind parseInterp(std::string_view name);
+/// The canonical name parseInterp accepts for `k`.
+const char* interpName(InterpKind k);
+
+/// Process-wide default for new Executors: CARE_INTERP=ref|fast|jit,
+/// overridden by setDefaultInterp() (carecc --interp=...).
 InterpKind defaultInterp();
 void setDefaultInterp(InterpKind k);
 
@@ -143,6 +153,13 @@ public:
   /// after it — the harness hook multi-rank job simulation is built on.
   RunResult run(const std::string& entry = "main");
 
+  /// run(), but stop with RunStatus::BudgetExceeded as soon as instrCount()
+  /// reaches min(budget, stopAt) — the shared exact-stop mechanism under
+  /// runCheckpointed() and the replay cache's golden prefixes. Barrier
+  /// yields are resumed transparently (they are no-ops off the harness
+  /// hook); the budget itself is not consumed or modified.
+  RunResult runBounded(std::uint64_t stopAt, const std::string& entry = "main");
+
   // --- state access (used by hooks, Safeguard and the injector) -----------
   const Image* image() const { return image_; }
   Memory& memory() { return mem_; }
@@ -160,6 +177,7 @@ private:
   bool jumpTo(const CodeLoc& loc);
   RunResult runReference();
   RunResult runFast();
+  RunResult runJit(); // executor_jit.cpp: the mixed-mode driver
   /// The token-threaded loop, compiled twice: the instrumented variant
   /// carries the per-instruction profiling and injection checks; the plain
   /// variant (profiling off, nothing armed — golden runs) omits them. If a
@@ -176,6 +194,9 @@ private:
   std::vector<std::uint64_t> output_;
   std::uint64_t instrCount_ = 0;
   std::uint64_t budget_ = ~0ull;
+  /// Transient exact-stop bound (runBounded); every loop runs to
+  /// min(budget_, stopAt_). ~0ull = no bound.
+  std::uint64_t stopAt_ = ~0ull;
   TrapHook trapHook_;
 
   // Current position.

@@ -71,7 +71,7 @@ RunResult Executor::runFastImpl(bool* switchVariant) {
 
   std::int32_t m = curModule_, fi = curFunc_;
   std::uint64_t ic = instrCount_;
-  std::uint64_t bud = budget_;
+  std::uint64_t bud = budget_ < stopAt_ ? budget_ : stopAt_;
 
   const DInst* code = nullptr;
   std::uint64_t codeSize = 0; // real instruction count (sentinel excluded)
@@ -125,7 +125,7 @@ RunResult Executor::runFastImpl(bool* switchVariant) {
     m = curModule_;                                                         \
     fi = curFunc_;                                                          \
     ic = instrCount_;                                                       \
-    bud = budget_;                                                          \
+    bud = budget_ < stopAt_ ? budget_ : stopAt_;                            \
     ENTER();                                                                \
     d = code + curInstr_;                                                   \
   } while (0)
@@ -143,7 +143,7 @@ RunResult Executor::runFastImpl(bool* switchVariant) {
       SYNC();                                                               \
       injCb_(*this);                                                        \
       ic = instrCount_;                                                     \
-      bud = budget_;                                                        \
+      bud = budget_ < stopAt_ ? budget_ : stopAt_;                          \
       ENTER();                                                              \
     }                                                                       \
   } while (0)

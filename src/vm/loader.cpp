@@ -2,6 +2,7 @@
 
 #include "support/error.hpp"
 #include "vm/decode.hpp"
+#include "vm/jit.hpp"
 
 namespace care::vm {
 
@@ -15,6 +16,13 @@ const DecodedImage& Image::decoded() const {
     decoded_ = std::make_unique<const DecodedImage>(decodeImage(*this));
   });
   return *decoded_;
+}
+
+JitImage& Image::jit() const {
+  std::call_once(jitOnce_, [this] {
+    jit_ = std::make_unique<JitImage>(*this);
+  });
+  return *jit_;
 }
 
 std::int32_t Image::load(const MModule* mod) {

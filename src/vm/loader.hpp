@@ -21,6 +21,7 @@
 namespace care::vm {
 
 struct DecodedImage;
+class JitImage;
 
 struct FuncRef {
   std::int32_t module = -1;
@@ -85,6 +86,12 @@ public:
   /// lazily (and thread-safely) on first use. Must be called after link().
   const DecodedImage& decoded() const;
 
+  /// The per-image native code cache for the JIT backend, built lazily on
+  /// first use (same discipline as decoded(), which it builds on). The
+  /// returned object is internally synchronized — campaign Executors on
+  /// many threads share it.
+  JitImage& jit() const;
+
   static constexpr std::uint64_t kAppCodeBase = 0x0000000000400000ull;
   static constexpr std::uint64_t kAppDataBase = 0x0000000010000000ull;
   static constexpr std::uint64_t kLibBase = 0x00007f0000000000ull;
@@ -100,6 +107,8 @@ private:
   std::vector<LoadedModule> modules_;
   mutable std::once_flag decodeOnce_;
   mutable std::unique_ptr<const DecodedImage> decoded_;
+  mutable std::once_flag jitOnce_;
+  mutable std::unique_ptr<JitImage> jit_;
 };
 
 } // namespace care::vm

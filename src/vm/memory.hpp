@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "backend/mir.hpp"
 
@@ -85,6 +86,22 @@ public:
   /// Lets tests assert that snapshots share instead of deep-copying.
   static std::uint64_t pageAllocCount();
 
+  /// One direct-mapped TLB slot. Public only for the JIT, whose inline
+  /// translation sequence addresses the arrays by fixed layout (asserted
+  /// in jit.cpp): compare .pageNo, load .data at +8.
+  struct TlbEntry {
+    std::uint64_t pageNo = ~0ull;
+    std::uint8_t* data = nullptr;
+  };
+  using Tlb = std::array<TlbEntry, kTlbEntries>;
+
+  /// The raw (read, write) TLB entry arrays for emitted code. They are
+  /// members of this Memory, so their addresses are stable across moves
+  /// and restoreCheckpoint()'s `mem_ = snapshot.fork()` reseating.
+  std::pair<void*, void*> jitTlbView() const {
+    return {static_cast<void*>(&readTlb_), static_cast<void*>(&writeTlb_)};
+  }
+
   Memory() = default;
   // Moves transfer the page table and explicitly reset both objects'
   // TLBs: the moved-from object must not retain pointers into pages it no
@@ -99,12 +116,6 @@ private:
 
   using Page = std::array<std::uint8_t, kPageSize>;
   using PageMap = std::unordered_map<std::uint64_t, std::shared_ptr<Page>>;
-
-  struct TlbEntry {
-    std::uint64_t pageNo = ~0ull;
-    std::uint8_t* data = nullptr;
-  };
-  using Tlb = std::array<TlbEntry, kTlbEntries>;
 
   const std::uint8_t* readMiss(std::uint64_t pageNo) const;
   std::uint8_t* writeMiss(std::uint64_t pageNo);

@@ -125,6 +125,38 @@ TEST(Experiment, ThreadsStayOutOfTheCacheKey) {
   }
 }
 
+TEST(Experiment, InterpBackendStaysOutOfTheCacheKey) {
+  // The interpreter backend is a performance knob with a bit-identical
+  // contract (vm_diff_test), so a campaign cached under one backend must be
+  // served verbatim to a campaign running under another: one .camp file,
+  // fromCache=true, identical deterministic bytes. Only the telemetry
+  // records which backend each run resolved.
+  struct InterpGuard {
+    vm::InterpKind saved = vm::defaultInterp();
+    ~InterpGuard() { vm::setDefaultInterp(saved); }
+  } guard;
+  const std::string dir = "care_test_artifacts/exp_interp_key";
+  std::filesystem::remove_all(dir);
+  vm::setDefaultInterp(vm::InterpKind::Fast);
+  inject::CampaignTelemetry fastTel;
+  const ExperimentResult fast =
+      runExperiment(workloads::hpccg(), smallConfig(dir), &fastTel);
+  EXPECT_FALSE(fastTel.fromCache);
+  EXPECT_EQ(fastTel.interp, "fast");
+  vm::setDefaultInterp(vm::InterpKind::Jit);
+  inject::CampaignTelemetry jitTel;
+  const ExperimentResult jit =
+      runExperiment(workloads::hpccg(), smallConfig(dir), &jitTel);
+  EXPECT_TRUE(jitTel.fromCache);
+  EXPECT_EQ(jitTel.interp, "jit");
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".camp") ++files;
+  EXPECT_EQ(files, 1);
+  EXPECT_EQ(inject::serializeDeterministic(fast),
+            inject::serializeDeterministic(jit));
+}
+
 TEST(Experiment, ParallelWrittenCacheRoundTrips) {
   // The inverse direction: a campaign executed by the parallel engine is
   // written to disk and loaded back with an identical ExperimentResult.

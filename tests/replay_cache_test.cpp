@@ -68,7 +68,8 @@ struct InterpGuard {
 TEST(ReplayCache, BoundaryEdgesMatchFromScratchOnBothInterps) {
   ReplayEnv env;
   InterpGuard guard;
-  for (vm::InterpKind interp : {vm::InterpKind::Fast, vm::InterpKind::Ref}) {
+  for (vm::InterpKind interp :
+       {vm::InterpKind::Fast, vm::InterpKind::Ref, vm::InterpKind::Jit}) {
     vm::setDefaultInterp(interp);
 
     CampaignConfig offCfg;

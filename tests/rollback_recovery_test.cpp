@@ -287,7 +287,8 @@ TEST(RollbackRecovery, FaultBeforeFirstCheckpointRollsBackToEntry) {
 TEST(RollbackRecovery, CleanRunUnderRollbackMatchesNoneOnBothInterps) {
   CareEnv e = buildCare(kGridProg, "clean");
   InterpGuard guard;
-  for (vm::InterpKind interp : {vm::InterpKind::Fast, vm::InterpKind::Ref}) {
+  for (vm::InterpKind interp :
+       {vm::InterpKind::Fast, vm::InterpKind::Ref, vm::InterpKind::Jit}) {
     vm::setDefaultInterp(interp);
     Campaign none(e.image.get(), pinnedConfig(RecoveryStrategy::None));
     Campaign roll(e.image.get(), pinnedConfig(RecoveryStrategy::Rollback));
@@ -330,7 +331,8 @@ TEST(RollbackRecovery, RepairSuccessRecordsBitIdenticalOnBothInterps) {
       inject::buildWorkload(workloads::gtcp(), bcfg);
 
   InterpGuard guard;
-  for (vm::InterpKind interp : {vm::InterpKind::Fast, vm::InterpKind::Ref}) {
+  for (vm::InterpKind interp :
+       {vm::InterpKind::Fast, vm::InterpKind::Ref, vm::InterpKind::Jit}) {
     vm::setDefaultInterp(interp);
     Campaign repair(built.image.get(),
                     pinnedConfig(RecoveryStrategy::Repair));

@@ -1,16 +1,22 @@
-// Differential testing of the predecoded fast interpreter against the
-// reference big-switch loop (the executable specification). Every
-// observable — status, instruction count, exit code, register file (bitwise),
-// emitted output, per-static-instruction profile counts, and trap
-// kind/pc/address — must be identical:
-//  * golden (fault-free) runs of all five workloads,
+// Differential testing of the three interpreter backends against each
+// other: the reference big-switch loop (the executable specification), the
+// predecoded fast path, and the per-block template JIT. Every observable —
+// status, instruction count, exit code, register file (bitwise), emitted
+// output, per-static-instruction profile counts, and trap kind/pc/address —
+// must be pairwise identical across all backends:
+//  * golden (fault-free) runs of all five workloads, detectors unarmed and
+//    armed (signature cells, shadow address chains, SentinelTrap),
 //  * budget-capped runs stopping mid-execution after a few thousand
-//    instructions,
+//    instructions (exact-budget deopt on the JIT side),
 //  * trapping programs (SegFault / Fpe),
 //  * fuzzed injection runs that corrupt a register mid-flight at sampled hot
 //    instructions and let the corruption play out to whatever end state.
+// All backends in a leg share ONE Image: rebuilding a sentinel-armed module
+// is not bit-deterministic across in-process builds, and the contract under
+// test is per-image equivalence.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cctype>
 #include <cstring>
 
@@ -23,6 +29,10 @@ namespace care::test {
 namespace {
 
 using workloads::Workload;
+
+constexpr vm::InterpKind kKinds[] = {vm::InterpKind::Ref, vm::InterpKind::Fast,
+                                     vm::InterpKind::Jit};
+constexpr std::size_t kNumKinds = 3;
 
 // The lowered module must outlive the Image.
 struct BuildKeep {
@@ -55,6 +65,12 @@ vm::RunResult runUnder(vm::Executor& ex, vm::InterpKind kind,
                        const std::string& entry) {
   ex.setInterp(kind);
   return vm::runToCompletion(ex, entry);
+}
+
+std::string pairTag(vm::InterpKind a, vm::InterpKind b,
+                    const std::string& tag) {
+  return tag + " [" + std::string(vm::interpName(a)) + " vs " +
+         vm::interpName(b) + "]";
 }
 
 void expectSameResult(const vm::RunResult& a, const vm::RunResult& b,
@@ -92,6 +108,30 @@ void expectSameProfile(const vm::Image& image, vm::Executor& a,
   }
 }
 
+// Run one executor per backend against the shared image, then compare every
+// backend pair. `arm` customizes each executor before it runs (budget,
+// profiling, injection, ...).
+template <typename Arm>
+std::array<vm::RunResult, kNumKinds>
+diffAllBackends(const vm::Image* image, const std::string& entry,
+                const std::string& tag, bool profile, Arm arm) {
+  std::array<std::unique_ptr<vm::Executor>, kNumKinds> ex;
+  std::array<vm::RunResult, kNumKinds> res;
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
+    ex[k] = std::make_unique<vm::Executor>(image);
+    arm(*ex[k]);
+    res[k] = runUnder(*ex[k], kKinds[k], entry);
+  }
+  for (std::size_t a = 0; a < kNumKinds; ++a)
+    for (std::size_t b = a + 1; b < kNumKinds; ++b) {
+      const std::string t = pairTag(kKinds[a], kKinds[b], tag);
+      expectSameResult(res[a], res[b], t);
+      expectSameMachine(*ex[a], *ex[b], t);
+      if (profile) expectSameProfile(*image, *ex[a], *ex[b], t);
+    }
+  return res;
+}
+
 class WorkloadDiff : public ::testing::TestWithParam<const Workload*> {};
 
 TEST_P(WorkloadDiff, GoldenRunBitIdentical) {
@@ -99,63 +139,43 @@ TEST_P(WorkloadDiff, GoldenRunBitIdentical) {
   BuildKeep keep;
   const auto image = lowerWorkload(w, keep);
 
-  vm::Executor ref(image.get());
-  ref.enableProfiling();
-  ref.setBudget(500'000'000);
-  const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
-  ASSERT_EQ(rr.status, vm::RunStatus::Done) << w.name;
-
-  vm::Executor fast(image.get());
-  fast.enableProfiling();
-  fast.setBudget(500'000'000);
-  const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
-
-  expectSameResult(rr, fr, w.name);
-  expectSameMachine(ref, fast, w.name);
-  expectSameProfile(*image, ref, fast, w.name);
+  const auto res = diffAllBackends(image.get(), w.entry, w.name,
+                                   /*profile=*/true, [](vm::Executor& ex) {
+                                     ex.enableProfiling();
+                                     ex.setBudget(500'000'000);
+                                   });
+  ASSERT_EQ(res[0].status, vm::RunStatus::Done) << w.name;
 }
 
 // Sentinel-instrumented code (signature cells, shadow address chains, the
-// SentinelTrap op itself) must execute identically under both loops.
+// SentinelTrap op itself) must execute identically under all backends.
 TEST_P(WorkloadDiff, DetectorsArmedGoldenRunBitIdentical) {
   const Workload& w = *GetParam();
   BuildKeep keep;
   const auto image = lowerWorkload(w, keep, /*armDetectors=*/true);
 
-  vm::Executor ref(image.get());
-  ref.enableProfiling();
-  ref.setBudget(500'000'000);
-  const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
-  ASSERT_EQ(rr.status, vm::RunStatus::Done) << w.name;
-
-  vm::Executor fast(image.get());
-  fast.enableProfiling();
-  fast.setBudget(500'000'000);
-  const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
-
-  expectSameResult(rr, fr, w.name + " (detectors)");
-  expectSameMachine(ref, fast, w.name + " (detectors)");
-  expectSameProfile(*image, ref, fast, w.name + " (detectors)");
+  const auto res = diffAllBackends(image.get(), w.entry, w.name + " (detectors)",
+                                   /*profile=*/true, [](vm::Executor& ex) {
+                                     ex.enableProfiling();
+                                     ex.setBudget(500'000'000);
+                                   });
+  ASSERT_EQ(res[0].status, vm::RunStatus::Done) << w.name;
 }
 
+// Exact dynamic-instruction budgets: every backend must stop at precisely
+// the same instruction with the same machine state. On the JIT side this
+// exercises the block-fit check / deopt-to-interpreter boundary protocol.
 TEST_P(WorkloadDiff, BudgetCappedRunStopsIdentically) {
   const Workload& w = *GetParam();
   BuildKeep keep;
   const auto image = lowerWorkload(w, keep);
 
   for (const std::uint64_t budget : {1ull, 1000ull, 4096ull, 5001ull}) {
-    vm::Executor ref(image.get());
-    ref.setBudget(budget);
-    const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
-    ASSERT_EQ(rr.status, vm::RunStatus::BudgetExceeded) << w.name;
-
-    vm::Executor fast(image.get());
-    fast.setBudget(budget);
-    const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
-
     const std::string tag = w.name + " budget=" + std::to_string(budget);
-    expectSameResult(rr, fr, tag);
-    expectSameMachine(ref, fast, tag);
+    const auto res =
+        diffAllBackends(image.get(), w.entry, tag, /*profile=*/false,
+                        [budget](vm::Executor& ex) { ex.setBudget(budget); });
+    ASSERT_EQ(res[0].status, vm::RunStatus::BudgetExceeded) << tag;
   }
 }
 
@@ -174,19 +194,12 @@ INSTANTIATE_TEST_SUITE_P(
 void diffProgram(const std::string& src, vm::RunStatus wantStatus,
                  vm::TrapKind wantKind, const std::string& tag) {
   Program p = buildProgram(src, opt::OptLevel::O0);
-  vm::Executor ref(p.image.get());
-  ref.setBudget(10'000'000);
-  const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, "main");
-  ASSERT_EQ(rr.status, wantStatus) << tag;
-  if (wantStatus == vm::RunStatus::Trapped) {
-    ASSERT_EQ(rr.trap.kind, wantKind) << tag;
-  }
-
-  vm::Executor fast(p.image.get());
-  fast.setBudget(10'000'000);
-  const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, "main");
-  expectSameResult(rr, fr, tag);
-  expectSameMachine(ref, fast, tag);
+  const auto res =
+      diffAllBackends(p.image.get(), "main", tag, /*profile=*/false,
+                      [](vm::Executor& ex) { ex.setBudget(10'000'000); });
+  ASSERT_EQ(res[0].status, wantStatus) << tag;
+  if (wantStatus == vm::RunStatus::Trapped)
+    ASSERT_EQ(res[0].trap.kind, wantKind) << tag;
 }
 
 TEST(TrapDiff, OutOfBoundsStoreSegfaultsIdentically) {
@@ -230,10 +243,11 @@ TEST(TrapDiff, RemainderOverflowFpeIdentically) {
 
 // Corrupt one integer register at the n-th execution of a hot instruction
 // and let the fault play out: soft failure, masked run, or silent
-// corruption — whatever happens, both interpreters must land on the same
-// bits. This sweeps the trap paths (SegFault/Bus/BadPC from wild
-// addresses), the injection arming/firing bookkeeping, and the
-// post-injection instrumented→plain handoff in one go.
+// corruption — whatever happens, all backends must land on the same bits.
+// This sweeps the trap paths (SegFault/Bus/BadPC from wild addresses), the
+// injection arming/firing bookkeeping, and the post-injection
+// instrumented→plain handoff (which on the JIT backend also covers the
+// whole-run delegation for armed executors) in one go.
 TEST(InjectionDiff, RegisterCorruptionPlaysOutIdentically) {
   const Workload& w = workloads::hpccg();
   BuildKeep keep;
@@ -275,25 +289,19 @@ TEST(InjectionDiff, RegisterCorruptionPlaysOutIdentically) {
       ex.state().g[reg] ^= 1ull << bit;
     };
 
-    vm::Executor ref(image.get());
-    ref.setBudget(2 * golden.instrCount);
-    ref.armInjection(h.loc, nth, corrupt);
-    const vm::RunResult rr = runUnder(ref, vm::InterpKind::Ref, w.entry);
-
-    vm::Executor fast(image.get());
-    fast.setBudget(2 * golden.instrCount);
-    fast.armInjection(h.loc, nth, corrupt);
-    const vm::RunResult fr = runUnder(fast, vm::InterpKind::Fast, w.entry);
-
     const std::string tag = "trial " + std::to_string(trial) + " @(" +
                             std::to_string(h.loc.module) + "," +
                             std::to_string(h.loc.func) + "," +
                             std::to_string(h.loc.instr) + ") nth=" +
                             std::to_string(nth) + " g" + std::to_string(reg) +
                             "^bit" + std::to_string(bit);
-    expectSameResult(rr, fr, tag);
-    expectSameMachine(ref, fast, tag);
-    if (rr.status == vm::RunStatus::Trapped) ++trapped;
+    const auto res = diffAllBackends(
+        image.get(), w.entry, tag, /*profile=*/false,
+        [&](vm::Executor& ex) {
+          ex.setBudget(2 * golden.instrCount);
+          ex.armInjection(h.loc, nth, corrupt);
+        });
+    if (res[0].status == vm::RunStatus::Trapped) ++trapped;
   }
   // The sweep should have found at least one hard fault to be meaningful.
   EXPECT_GT(trapped, 0) << "fuzz never produced a trap; widen the sweep";

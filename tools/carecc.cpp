@@ -75,8 +75,9 @@ void usage() {
                "                     (0 = off; default CARE_CKPT_INTERVAL or\n"
                "                     golden/64; any value yields identical\n"
                "                     results)\n"
-               "  --interp=fast|ref  interpreter loop (default fast; ref is\n"
-               "                     the big-switch reference, bit-identical)\n"
+               "  --interp=<b>       interpreter backend: fast (default),\n"
+               "                     ref (big-switch reference), or jit\n"
+               "                     (template JIT); all bit-identical\n"
                "  --no-care          inject without Safeguard attached\n"
                "  --iv-recovery      enable the Fig. 11 extension\n"
                "  --detect=<list>    arm Sentinel detectors: comma list of\n"
@@ -401,8 +402,15 @@ int main(int argc, char** argv) {
     }
     else if (s == "--ckpt-interval")
       a.ckptInterval = std::strtoull(next().c_str(), nullptr, 10);
-    else if (s == "--interp=ref") vm::setDefaultInterp(vm::InterpKind::Ref);
-    else if (s == "--interp=fast") vm::setDefaultInterp(vm::InterpKind::Fast);
+    else if (s.rfind("--interp=", 0) == 0) {
+      try {
+        vm::setDefaultInterp(
+            vm::parseInterp(s.substr(std::strlen("--interp="))));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (s.rfind("--detect=", 0) == 0) {
       a.detectGiven = true;
       try {
