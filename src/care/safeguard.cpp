@@ -410,15 +410,25 @@ bool Safeguard::tryRollback(vm::Executor& ex, RecoveryRecord& rec) {
 
 TrapAction Safeguard::onTrap(vm::Executor& ex, const Trap& trap) {
   // CARE targets invalid-memory-access errors (SIGSEGV); everything else
-  // propagates to the default handler (paper §3).
-  if (trap.kind != TrapKind::SegFault) return TrapAction::Propagate;
+  // propagates to the default handler (paper §3). ECC-uncorrectable words
+  // (DESIGN.md §4i) are the one addition: the kernel-repair path is
+  // meaningless for them — the *data* is gone, not an address register —
+  // but a rollback strategy can rewind past the strike, so they reach
+  // tryRollback() and nothing else.
+  const bool eccFault = trap.kind == TrapKind::EccUncorrectable;
+  if (trap.kind != TrapKind::SegFault && !eccFault)
+    return TrapAction::Propagate;
+  if (eccFault && !strategyRollsBack(strategy_)) return TrapAction::Propagate;
   const auto t0 = Clock::now();
   RecoveryRecord rec;
   rec.pc = trap.pc;
   rec.faultAddr = trap.addr;
 
   bool repaired = false;
-  if (strategyRepairs(strategy_)) {
+  if (eccFault) {
+    rec.failCode = FailCode::RecoveryDisabled;
+    rec.failReason = "kernel repair not applicable to ECC faults";
+  } else if (strategyRepairs(strategy_)) {
     repaired = tryRepair(ex, trap, rec, t0);
   } else {
     rec.failCode = FailCode::RecoveryDisabled;

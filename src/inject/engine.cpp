@@ -108,6 +108,16 @@ std::string CampaignTelemetry::json() const {
   jsonField(out, "effective_mips", "%.2f,", effectiveMips);
   jsonField(out, "detected", "%d,", detected);
   jsonField(out, "detect_latency_instrs", "%.1f,", detectLatencyInstrs);
+  out += "\"fault\":\"";
+  out += jsonEscape(fault);
+  out += "\",\"ecc\":\"";
+  out += jsonEscape(ecc);
+  out += "\",";
+  jsonField(out, "corrected", "%d,", corrected);
+  jsonField(out, "ecc_corrected", "%llu,",
+            static_cast<unsigned long long>(eccCorrected));
+  jsonField(out, "ecc_uncorrectable", "%llu,",
+            static_cast<unsigned long long>(eccUncorrectable));
   jsonField(out, "recoveries", "%llu,",
             static_cast<unsigned long long>(recoveries));
   jsonField(out, "rollbacks", "%llu,",
@@ -260,6 +270,9 @@ void aggregateRecordTelemetry(const std::vector<InjectionRecord>& records,
                               CampaignTelemetry& t) {
   t.careReruns = 0;
   t.detected = 0;
+  t.corrected = 0;
+  t.eccCorrected = 0;
+  t.eccUncorrectable = 0;
   t.recoveries = 0;
   t.rollbacks = 0;
   t.rollbackReexecInstrs = 0;
@@ -274,6 +287,13 @@ void aggregateRecordTelemetry(const std::vector<InjectionRecord>& records,
     if (rec.plain.outcome == Outcome::Detected) {
       ++t.detected;
       detectLatencySum += static_cast<double>(rec.plain.latencyInstrs);
+    }
+    if (rec.plain.outcome == Outcome::Corrected) ++t.corrected;
+    t.eccCorrected += rec.plain.eccCorrected;
+    t.eccUncorrectable += rec.plain.eccUncorrectable;
+    if (rec.haveCare) {
+      t.eccCorrected += rec.withCare.eccCorrected;
+      t.eccUncorrectable += rec.withCare.eccUncorrectable;
     }
     if (rec.haveCare) {
       ++t.careReruns;
@@ -330,8 +350,16 @@ std::vector<InjectionRecord> runCampaign(
       trace::Span plainSpan("trial.plain_run", "campaign");
       rec.plain = campaign.runInjection(rec.point);
     }
-    if (careArtifacts && rec.plain.outcome == Outcome::SoftFailure &&
-        rec.plain.signal == vm::TrapKind::SegFault) {
+    // CARE re-runs target the failures a strategy can plausibly fix:
+    // SIGSEGV soft failures (kernel repair and/or rollback) and ECC
+    // double-bit detections (rollback only — the data is gone, but a
+    // checkpoint before the strike erases it).
+    const bool segvFailure = rec.plain.outcome == Outcome::SoftFailure &&
+                             rec.plain.signal == vm::TrapKind::SegFault;
+    const bool eccDetected =
+        rec.plain.outcome == Outcome::Detected &&
+        rec.plain.signal == vm::TrapKind::EccUncorrectable;
+    if (careArtifacts && (segvFailure || eccDetected)) {
       trace::Span careSpan("trial.care_rerun", "campaign");
       rec.haveCare = true;
       rec.withCare = campaign.runInjection(rec.point, careArtifacts);
@@ -346,6 +374,10 @@ std::vector<InjectionRecord> runCampaign(
     local.processes = resolveProcesses(kProcsAuto);
     local.threads = threads;
     service = &local;
+  }
+  if (telemetry) {
+    telemetry->fault = faultModelName(campaign.faultModel());
+    telemetry->ecc = vm::eccModeName(campaign.eccMode());
   }
   std::vector<InjectionRecord> records =
       runShardedTrials(injections, seed, *service, trial, telemetry);

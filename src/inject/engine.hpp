@@ -87,6 +87,15 @@ struct CampaignTelemetry {
   // instructions. Both zero when detectors are off.
   int detected = 0;
   double detectLatencyInstrs = 0;
+  // Fault-model / ECC configuration and outcomes (DESIGN.md §4i). The
+  // strings record what the campaign ran; the counters are always emitted
+  // (zero under --fault=reg / CARE_ECC off) so telemetry consumers can
+  // validate their presence unconditionally.
+  std::string fault = "reg";    // faultModelName of the campaign
+  std::string ecc = "off";      // eccModeName of the campaign
+  int corrected = 0;            // trials whose plain outcome was Corrected
+  std::uint64_t eccCorrected = 0;      // words fixed across all trials
+  std::uint64_t eccUncorrectable = 0;  // double-bit detections across trials
   std::uint64_t recoveries = 0; // trials whose CARE re-run recovered
   // Rollback-domain recovery (DESIGN.md §4f); all zero under repair-only.
   std::uint64_t rollbacks = 0;  // checkpoint restores across CARE re-runs

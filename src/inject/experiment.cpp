@@ -16,6 +16,11 @@ constexpr std::uint32_t kCacheMagic = 0x45435243; // "CRCE"
 // v10: replaySavedInstrs joins the full-fidelity format (the multi-process
 // service ships records over pipes / the result store, and campaign
 // telemetry needs the replay savings to survive that trip).
+// v11: memory-resident fault models + ECC (DESIGN.md §4i) — records carry
+// the point's model/memAddr and per-trial ECC counters, and the resolved
+// fault model / ECC mode join both cache keys. Also re-records every
+// campaign: register-fault bit positions are now sampled within the
+// destination's width instead of being folded by a modulo.
 constexpr std::uint32_t kCacheVersion = kExperimentCacheVersion;
 /// Folded into the cache key only when Sentinel detectors are armed, so
 /// detector-off campaigns keep their pre-Sentinel paths and bytes while
@@ -26,7 +31,8 @@ std::string cachePath(const std::string& workload,
                       const ExperimentConfig& cfg,
                       std::uint64_t ckptInterval,
                       core::RecoveryStrategy recover,
-                      std::uint64_t rollbackRingCap) {
+                      std::uint64_t rollbackRingCap, FaultModel fault,
+                      vm::EccMode ecc) {
   // cfg.threads is deliberately absent: the engine guarantees identical
   // records for every worker count, so serial- and parallel-written
   // campaigns share one cache entry. The resolved replay-cache interval is
@@ -45,6 +51,8 @@ std::string cachePath(const std::string& workload,
                                 ckptInterval,
                                 static_cast<std::uint64_t>(recover),
                                 rollbackRingCap,
+                                static_cast<std::uint64_t>(fault),
+                                static_cast<std::uint64_t>(ecc),
                                 kCacheVersion};
   h.update(nums, sizeof(nums));
   if (const sentinel::DetectOptions det = cfg.armor.resolvedDetect();
@@ -69,7 +77,8 @@ std::string storeKeyBase(const std::string& workload,
                          const ExperimentConfig& cfg,
                          std::uint64_t ckptInterval,
                          core::RecoveryStrategy recover,
-                         std::uint64_t rollbackRingCap) {
+                         std::uint64_t rollbackRingCap, FaultModel fault,
+                         vm::EccMode ecc) {
   Md5 h;
   h.update("care-experiment-shards");
   h.update(workload);
@@ -82,6 +91,8 @@ std::string storeKeyBase(const std::string& workload,
                                 cfg.armor.inductionRecovery ? 1u : 0u,
                                 static_cast<std::uint64_t>(recover),
                                 rollbackRingCap,
+                                static_cast<std::uint64_t>(fault),
+                                static_cast<std::uint64_t>(ecc),
                                 kCacheVersion};
   h.update(nums, sizeof(nums));
   if (core::strategyRollsBack(recover)) {
@@ -110,6 +121,9 @@ void putInjectionResult(const InjectionResult& ir, ByteWriter& w,
   w.u64(ir.ivAltRecoveries);
   w.u64(ir.rollbacks);
   w.u64(ir.rollbackReexecInstrs);
+  // Deterministic: ECC corrections/detections depend only on (point, mode).
+  w.u64(ir.eccCorrected);
+  w.u64(ir.eccUncorrectable);
   if (withTimings) {
     w.f64(ir.recoveryUsTotal);
     w.f64(ir.kernelUsTotal);
@@ -132,6 +146,8 @@ void putRecord(const InjectionRecord& rec, ByteWriter& w, bool withTimings) {
   w.u32(static_cast<std::uint32_t>(rec.point.loc.func));
   w.u32(static_cast<std::uint32_t>(rec.point.loc.instr));
   w.u64(rec.point.nth);
+  w.u8(static_cast<std::uint8_t>(rec.point.model));
+  w.u64(rec.point.memAddr);
   w.u32(static_cast<std::uint32_t>(rec.point.bits.size()));
   for (unsigned b : rec.point.bits) w.u32(b);
   putInjectionResult(rec.plain, w, withTimings);
@@ -172,6 +188,8 @@ void getInjectionResult(ByteReader& r, InjectionResult& ir) {
   ir.ivAltRecoveries = r.u64();
   ir.rollbacks = r.u64();
   ir.rollbackReexecInstrs = r.u64();
+  ir.eccCorrected = r.u64();
+  ir.eccUncorrectable = r.u64();
   ir.recoveryUsTotal = r.f64();
   ir.kernelUsTotal = r.f64();
   ir.keyUsTotal = r.f64();
@@ -215,6 +233,8 @@ InjectionRecord readRecordBytes(ByteReader& r) {
   rec.point.loc.func = static_cast<std::int32_t>(r.u32());
   rec.point.loc.instr = static_cast<std::int32_t>(r.u32());
   rec.point.nth = r.u64();
+  rec.point.model = static_cast<FaultModel>(r.u8());
+  rec.point.memAddr = r.u64();
   const std::uint32_t nb = r.u32();
   for (std::uint32_t b = 0; b < nb; ++b) rec.point.bits.push_back(r.u32());
   getInjectionResult(r, rec.plain);
@@ -417,10 +437,18 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   // in the cache key (DESIGN.md §4f).
   const core::RecoveryStrategy recover = cfg.armor.resolvedRecover();
   const std::size_t ringCap = vm::rollbackRingFromEnv(8);
+  // Fault model and ECC mode are semantic; resolve the env knobs here so
+  // the values in effect land in both cache keys (DESIGN.md §4i).
+  const FaultModel fault =
+      cfg.fault ? *cfg.fault : faultModelFromEnv(FaultModel::Reg);
+  const vm::EccMode ecc =
+      cfg.ecc ? *cfg.ecc : vm::eccModeFromEnv(vm::EccMode::Off);
 
   std::filesystem::create_directories(cfg.cacheDir);
   const std::string path =
-      cachePath(w.name, cfg, ckptInterval, recover, ringCap);
+      cachePath(w.name, cfg, ckptInterval, recover, ringCap, fault, ecc);
+  tel.fault = faultModelName(fault);
+  tel.ecc = vm::eccModeName(ecc);
   const auto t0 = std::chrono::steady_clock::now();
   if (auto cached = readResult(path)) {
     tel.fromCache = true;
@@ -440,6 +468,8 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   ccfg.checkpointEveryInstrs = ckptInterval;
   ccfg.recover = recover;
   ccfg.rollbackRingCap = ringCap;
+  ccfg.fault = fault;
+  ccfg.ecc = ecc;
   if (cfg.patchBaseFirst)
     ccfg.patchTarget = core::Safeguard::PatchTarget::BaseFirst;
   Campaign campaign(built.image.get(), ccfg);
@@ -450,7 +480,8 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   svc.threads = cfg.threads;
   svc.storeDir = cfg.resultStore ? *cfg.resultStore : resultStoreDirFromEnv();
   if (!svc.storeDir.empty())
-    svc.storeKey = storeKeyBase(w.name, cfg, ckptInterval, recover, ringCap);
+    svc.storeKey =
+        storeKeyBase(w.name, cfg, ckptInterval, recover, ringCap, fault, ecc);
 
   ExperimentResult out;
   out.workload = w.name;

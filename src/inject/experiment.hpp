@@ -24,7 +24,7 @@ namespace care::inject {
 /// Version of the on-disk record wire format. Participates in the .camp
 /// cache key, the shard result-store key, and carecc's store key: bumping
 /// it invalidates every serialized record everywhere at once.
-inline constexpr std::uint32_t kExperimentCacheVersion = 10;
+inline constexpr std::uint32_t kExperimentCacheVersion = 11;
 
 struct ExperimentConfig {
   opt::OptLevel level = opt::OptLevel::O0;
@@ -56,6 +56,13 @@ struct ExperimentConfig {
   /// record-identical to recomputing it, so this too stays out of the
   /// .camp cache key.
   std::optional<std::string> resultStore;
+  /// Fault model (DESIGN.md §4i): nullopt resolves CARE_FAULT (reg when
+  /// unset). Semantic — changes every sampled point — so the *resolved*
+  /// model participates in the .camp cache key and the store key.
+  std::optional<FaultModel> fault;
+  /// ECC protection on trial executors: nullopt resolves CARE_ECC (off
+  /// when unset). Semantic (changes outcomes), part of both cache keys.
+  std::optional<vm::EccMode> ecc;
 };
 
 /// One injection's record: the plain outcome plus (for SIGSEGV injections

@@ -24,8 +24,34 @@ const char* outcomeName(Outcome o) {
   case Outcome::Hang: return "Hang";
   case Outcome::Detected: return "Detected";
   case Outcome::RolledBack: return "RolledBack";
+  case Outcome::Corrected: return "Corrected";
   }
   return "?";
+}
+
+const char* faultModelName(FaultModel m) {
+  switch (m) {
+  case FaultModel::Reg: return "reg";
+  case FaultModel::Mem1: return "mem1";
+  case FaultModel::Mem2Adj: return "mem2adj";
+  case FaultModel::Burst: return "burst";
+  }
+  return "?";
+}
+
+FaultModel parseFaultModel(const std::string& s) {
+  if (s == "reg") return FaultModel::Reg;
+  if (s == "mem1") return FaultModel::Mem1;
+  if (s == "mem2adj") return FaultModel::Mem2Adj;
+  if (s == "burst") return FaultModel::Burst;
+  raise("unknown fault model '" + s +
+        "' (expected reg, mem1, mem2adj or burst)");
+}
+
+FaultModel faultModelFromEnv(FaultModel fallback) {
+  const char* s = std::getenv("CARE_FAULT");
+  if (!s || !*s) return fallback;
+  return parseFaultModel(s);
 }
 
 namespace {
@@ -92,7 +118,11 @@ void Campaign::corruptDestination(Executor& ex, const CodeLoc& loc,
     const unsigned size = backend::mtypeSize(m.type);
     std::uint8_t buf[8] = {};
     if (!ex.memory().readBytes(a, buf, size)) return; // store itself trapped
-    for (unsigned b : bits) flipBitBuffer(buf, size, b % (size * 8));
+    // Bits were sampled within the destination's width (sample() consults
+    // the store's MType), so no reduction happens here: a modulo at this
+    // point would silently alias distinct sampled positions onto the same
+    // cell bit and degenerate bits=2 flips into no-ops.
+    for (unsigned b : bits) flipBitBuffer(buf, size, b);
     ex.memory().writeBytes(a, buf, size);
     return;
   }
@@ -110,6 +140,9 @@ Campaign::Campaign(const vm::Image* image, CampaignConfig cfg)
   vm::Memory base;
   image_->initMemory(base);
   baseMem_ = vm::MemorySnapshot::capture(base);
+  // Memory-fault site population: every page mapped at entry, in sorted
+  // order so sampling is deterministic across processes.
+  pageNos_ = baseMem_.pageNumbers();
 }
 
 bool Campaign::profile() {
@@ -227,8 +260,55 @@ Campaign::replaySource(const InjectionPoint& pt) const {
   return lo > 0 ? &checkpoints_[lo - 1] : nullptr;
 }
 
+const Campaign::TrialCheckpoint*
+Campaign::replaySourceAt(std::uint64_t instrAt) const {
+  if (checkpoints_.empty()) return nullptr;
+  // Boundaries are captured in ascending instrCount order: find the last
+  // one at or before the fault time (injection happens at the boundary
+  // state, before instruction `instrAt` executes, so == is usable).
+  std::size_t lo = 0, hi = checkpoints_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (checkpoints_[mid].rp.instrCount <= instrAt) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo > 0 ? &checkpoints_[lo - 1] : nullptr;
+}
+
 InjectionPoint Campaign::sample(Rng& rng) const {
   CARE_ASSERT(totalWeight_ > 0, "profile() must succeed before sample()");
+  InjectionPoint pt;
+  pt.model = cfg_.fault;
+  if (pt.model != FaultModel::Reg) {
+    // Memory-resident models (DESIGN.md §4i): an absolute dynamic-
+    // instruction time and an aligned 64-bit word in a mapped page,
+    // decoupled from any instruction's operands. pt.loc stays invalid.
+    CARE_ASSERT(!pageNos_.empty(), "image mapped no memory at entry");
+    pt.nth = rng.below(goldenInstrs_);
+    const std::uint64_t page = pageNos_[rng.below(pageNos_.size())];
+    pt.memAddr = page * vm::Memory::kPageSize + 8 * rng.below(512);
+    switch (pt.model) {
+    case FaultModel::Mem1:
+      pt.bits.push_back(static_cast<unsigned>(rng.below(64)));
+      break;
+    case FaultModel::Mem2Adj: {
+      // Two adjacent bits: uncorrectable by SECDED, by construction.
+      const unsigned p = static_cast<unsigned>(rng.below(63));
+      pt.bits.push_back(p);
+      pt.bits.push_back(p + 1);
+      break;
+    }
+    case FaultModel::Burst: {
+      // Chipkill analogue: one whole 8-bit lane of the word.
+      const unsigned lane = static_cast<unsigned>(rng.below(8));
+      for (unsigned b = 0; b < 8; ++b) pt.bits.push_back(8 * lane + b);
+      break;
+    }
+    case FaultModel::Reg:
+      CARE_UNREACHABLE("handled above");
+    }
+    return pt;
+  }
   const std::uint64_t r = rng.below(totalWeight_);
   // First cumulative strictly greater than r.
   std::size_t lo = 0, hi = cumulative_.size();
@@ -237,14 +317,22 @@ InjectionPoint Campaign::sample(Rng& rng) const {
     if (cumulative_[mid] <= r) lo = mid + 1;
     else hi = mid;
   }
-  InjectionPoint pt;
   pt.loc = sites_[lo];
   pt.nth = 1 + rng.below(counts_[lo]);
-  pt.bits.push_back(static_cast<unsigned>(rng.below(64)));
+  // Bit positions are sampled within the destination's width: a memory
+  // destination is its store's cell (8..64 bits), registers are 64-bit.
+  // Sampling in-width (instead of reducing 0..63 draws later) keeps
+  // multi-bit flips genuinely distinct in the cell — a modulo would fold
+  // e.g. bits {3, 35} of an i32 store onto the same physical bit.
+  const MInst& in = image_->instruction(pt.loc);
+  const DestInfo dd = destOf(in);
+  const unsigned width =
+      dd.memory ? 8 * backend::mtypeSize(in.mem.type) : 64;
+  pt.bits.push_back(static_cast<unsigned>(rng.below(width)));
   for (unsigned extra = 1; extra < cfg_.bitsToFlip; ++extra) {
     unsigned b;
     do {
-      b = static_cast<unsigned>(rng.below(64));
+      b = static_cast<unsigned>(rng.below(width));
     } while (std::find(pt.bits.begin(), pt.bits.end(), b) != pt.bits.end());
     pt.bits.push_back(b);
   }
@@ -256,6 +344,10 @@ InjectionResult Campaign::runInjection(
     const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts) const {
   InjectionResult res;
   Executor ex(image_, baseMem_);
+  // ECC shadows are armed on the trial executor only — the golden run is
+  // fault-free, so protecting it would measure nothing (DESIGN.md §4i).
+  if (cfg_.ecc != vm::EccMode::Off) ex.memory().setEccMode(cfg_.ecc);
+  const bool memFault = pt.model != FaultModel::Reg;
   // Rollback strategies re-execute from ring checkpoints captured *during
   // this trial*; the replay-cache fast-forward is skipped for them so the
   // trial is identical whether or not the cache is enabled (the ring's
@@ -264,18 +356,21 @@ InjectionResult Campaign::runInjection(
   const bool wantRollback =
       careArtifacts && core::strategyRollsBack(cfg_.recover);
   // Replay cache: fast-forward to the last checkpoint before the fault site
-  // and arm with the *remaining* executions. instrCount and output are
-  // restored absolute, so the hang budget, manifestation latency and SDC
-  // comparison below are oblivious to the skipped prefix.
+  // and arm with the *remaining* executions (memory faults are timed on the
+  // absolute instruction count, so they need no re-arming). instrCount and
+  // output are restored absolute, so the hang budget, manifestation latency
+  // and SDC comparison below are oblivious to the skipped prefix.
   std::uint64_t armNth = pt.nth;
   if (!wantRollback) {
-    if (const TrialCheckpoint* ck = replaySource(pt)) {
+    if (const TrialCheckpoint* ck =
+            memFault ? replaySourceAt(pt.nth) : replaySource(pt)) {
       {
         trace::Span restoreSpan("trial.restore_checkpoint", "campaign");
         ex.restoreCheckpoint(ck->rp);
       }
-      armNth = pt.nth -
-               ck->siteCounts[static_cast<std::size_t>(siteIndexOf(pt.loc))];
+      if (!memFault)
+        armNth = pt.nth -
+                 ck->siteCounts[static_cast<std::size_t>(siteIndexOf(pt.loc))];
       res.replaySavedInstrs = ck->rp.instrCount;
     }
   }
@@ -294,14 +389,57 @@ InjectionResult Campaign::runInjection(
 
   std::uint64_t injAt = 0;
   bool fired = false;
-  ex.armInjection(pt.loc, armNth, [&](Executor& e) {
-    injAt = e.instrCount();
-    fired = true;
-    corruptDestination(e, pt.loc, pt.bits);
-  });
+  if (!memFault)
+    ex.armInjection(pt.loc, armNth, [&](Executor& e) {
+      injAt = e.instrCount();
+      fired = true;
+      corruptDestination(e, pt.loc, pt.bits);
+    });
 
   vm::RunResult run;
-  if (wantRollback) {
+  if (memFault && !wantRollback) {
+    // Run exactly up to the fault time, strike the word, then let the run
+    // finish. A replay-cache restore above already advanced instrCount, so
+    // the bounded leg only covers the remaining segment.
+    ex.setBudget(budget);
+    run = ex.runBounded(pt.nth, cfg_.entry);
+    if (run.status == vm::RunStatus::BudgetExceeded &&
+        run.instrCount == pt.nth) {
+      fired = ex.memory().injectFault(pt.memAddr, pt.bits);
+      injAt = pt.nth;
+      run = vm::runToCompletion(ex, cfg_.entry);
+    }
+  } else if (memFault) {
+    // Rollback trial with a memory fault: drive the boundary grid by hand
+    // so the strike lands exactly at pt.nth without disturbing the
+    // absolute rollbackInterval_ spacing runCheckpointed() would produce.
+    // The fault is transient (injected once): a rollback to a checkpoint
+    // before pt.nth genuinely erases it.
+    ex.setBudget(budget);
+    bool injected = false;
+    run = ex.runBounded(ex.instrCount(), cfg_.entry); // entry boundary
+    if (run.status == vm::RunStatus::BudgetExceeded) {
+      ring.push(ex);
+      std::uint64_t next = ex.instrCount() + rollbackInterval_;
+      for (;;) {
+        const bool faultStop = !injected && pt.nth < next;
+        if (!faultStop && next >= budget) break;
+        const std::uint64_t stop = faultStop ? pt.nth : next;
+        run = ex.runBounded(stop, cfg_.entry);
+        if (run.status != vm::RunStatus::BudgetExceeded) break;
+        if (faultStop && run.instrCount >= pt.nth) {
+          fired = ex.memory().injectFault(pt.memAddr, pt.bits);
+          injAt = pt.nth;
+          injected = true;
+        } else {
+          ring.push(ex);
+          next += rollbackInterval_;
+        }
+      }
+      if (run.status == vm::RunStatus::BudgetExceeded)
+        run = vm::runToCompletion(ex, cfg_.entry);
+    }
+  } else if (wantRollback) {
     // Boundary-driven run: pause every rollbackInterval_ instructions and
     // feed the ring (entry state included). A mid-run rollback rewinds
     // instrCount below the current boundary target; the driver's budget is
@@ -322,10 +460,11 @@ InjectionResult Campaign::runInjection(
     res.outcome = res.outputMatchesGolden ? Outcome::Benign : Outcome::SDC;
     break;
   case vm::RunStatus::Trapped:
-    // A Sentinel trap is a *detected* corruption: the latency field then
-    // measures detection latency (injection -> detector check) instead of
-    // injection -> crash.
-    res.outcome = run.trap.kind == vm::TrapKind::Sentinel
+    // A Sentinel or ECC-uncorrectable trap is a *detected* corruption: the
+    // latency field then measures detection latency (injection -> detector
+    // check) instead of injection -> crash.
+    res.outcome = (run.trap.kind == vm::TrapKind::Sentinel ||
+                   run.trap.kind == vm::TrapKind::EccUncorrectable)
                       ? Outcome::Detected
                       : Outcome::SoftFailure;
     res.signal = run.trap.kind;
@@ -336,6 +475,20 @@ InjectionResult Campaign::runInjection(
     break;
   case vm::RunStatus::Yielded:
     CARE_UNREACHABLE("runToCompletion cannot yield");
+  }
+
+  // End-of-trial scrub (DESIGN.md §4i): a completed run may still hold the
+  // flipped word in a cell it never read back — patrol every shadowed word
+  // so the correctable/uncorrectable verdict is about the *fault*, not
+  // about whether the workload happened to touch it. Then fold the counters
+  // into the record; a clean-output completion that needed a correction is
+  // its own outcome class.
+  if (ex.memory().eccEnabled()) {
+    if (res.survived) (void)ex.memory().scrubEcc();
+    res.eccCorrected = ex.memory().eccCorrected();
+    res.eccUncorrectable = ex.memory().eccUncorrectable();
+    if (res.outcome == Outcome::Benign && res.eccCorrected > 0)
+      res.outcome = Outcome::Corrected;
   }
 
   if (careArtifacts) {

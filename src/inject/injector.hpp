@@ -32,17 +32,46 @@ namespace care::inject {
 /// output matching golden (careRecovered), since a rollback cannot unwind
 /// already-externalized output.
 enum class Outcome : std::uint8_t {
-  Benign, SoftFailure, SDC, Hang, Detected, RolledBack
+  Benign, SoftFailure, SDC, Hang, Detected, RolledBack,
+  /// Completed with golden output only because ECC corrected >=1 flipped
+  /// memory word along the way (DESIGN.md §4i) — a genuine save, kept
+  /// distinct from Benign so the defense matrix can credit it.
+  Corrected
 };
 
 const char* outcomeName(Outcome o);
 
-/// Where and when to inject: after the `nth` execution of the static
-/// instruction at `loc`, flip `bits` (1 or 2 distinct bit positions).
+/// What gets corrupted (paper §2.1.1 extended by DESIGN.md §4i). `Reg` is
+/// the paper's model: flip the destination operand of a dynamic
+/// instruction. The `Mem*` models are memory-resident: flip bits in a
+/// mapped 64-bit word at an absolute dynamic-instruction time, decoupled
+/// from any instruction's operands — the DRAM-strike analogue SECDED ECC
+/// defends against. Selected by --fault= / CARE_FAULT.
+enum class FaultModel : std::uint8_t {
+  Reg = 0,     // destination-operand flip (the paper's model)
+  Mem1 = 1,    // one bit in a random mapped word
+  Mem2Adj = 2, // two adjacent bits (SECDED-uncorrectable by design)
+  Burst = 3,   // chipkill-style 8-bit burst within one byte lane
+};
+
+const char* faultModelName(FaultModel m);
+/// Parse "reg" | "mem1" | "mem2adj" | "burst"; throws care::Error naming
+/// the accepted values on anything else.
+FaultModel parseFaultModel(const std::string& s);
+/// CARE_FAULT env knob; returns `fallback` when unset/empty.
+FaultModel faultModelFromEnv(FaultModel fallback);
+
+/// Where and when to inject. Reg model: after the `nth` execution of the
+/// static instruction at `loc`, flip `bits` (distinct positions within the
+/// destination's width). Mem models: when the dynamic instruction count
+/// reaches `nth`, flip `bits` (positions 0..63) in the aligned word at
+/// `memAddr`; `loc` stays invalid.
 struct InjectionPoint {
   vm::CodeLoc loc;
   std::uint64_t nth = 1;
   std::vector<unsigned> bits;
+  FaultModel model = FaultModel::Reg;
+  std::uint64_t memAddr = 0;
 };
 
 struct InjectionResult {
@@ -79,6 +108,11 @@ struct InjectionResult {
   double paramUsTotal = 0;            // operand disassembly + param fetch
   double patchUsTotal = 0;            // operand patch
   double rollbackUsTotal = 0;         // checkpoint selection + CoW restore
+  /// ECC accounting for this trial (0 with CARE_ECC off): words corrected
+  /// on access or by the end-of-trial scrub, and uncorrectable detections
+  /// (the trapping one plus any found by the scrub).
+  std::uint64_t eccCorrected = 0;
+  std::uint64_t eccUncorrectable = 0;
   bool outputMatchesGolden = false;
   std::string careFailReason;         // first Safeguard failure, if any
 };
@@ -108,6 +142,13 @@ struct CampaignConfig {
   /// Capacity of the per-trial rollback checkpoint ring (incl. the pinned
   /// entry checkpoint); default resolves CARE_ROLLBACK_RING.
   std::size_t rollbackRingCap = vm::rollbackRingFromEnv(8);
+  /// What gets corrupted (DESIGN.md §4i); default resolves CARE_FAULT.
+  /// Semantic: participates in the experiment cache key.
+  FaultModel fault = faultModelFromEnv(FaultModel::Reg);
+  /// ECC protection armed on every trial executor (never on the golden
+  /// run, which is fault-free either way); default resolves CARE_ECC.
+  /// Semantic: participates in the experiment cache key.
+  vm::EccMode ecc = vm::eccModeFromEnv(vm::EccMode::Off);
 };
 
 /// CARE_CKPT_INTERVAL parsed as a decimal instruction count, or `fallback`
@@ -128,6 +169,8 @@ public:
   const std::vector<std::uint64_t>& goldenOutput() const {
     return goldenOutput_;
   }
+  FaultModel faultModel() const { return cfg_.fault; }
+  vm::EccMode eccMode() const { return cfg_.ecc; }
 
   /// One golden-run segment boundary of the replay cache: the full machine
   /// state at that boundary plus, for every injectable site, how many
@@ -175,6 +218,9 @@ private:
   /// Null when checkpointing is off, the site is unknown, or the fault
   /// site lies in the first segment.
   const TrialCheckpoint* replaySource(const InjectionPoint& pt) const;
+  /// Same for memory-resident faults, keyed on absolute instruction time:
+  /// the last checkpoint captured at or before `instrAt`.
+  const TrialCheckpoint* replaySourceAt(std::uint64_t instrAt) const;
 
   const vm::Image* image_;
   CampaignConfig cfg_;
@@ -182,6 +228,8 @@ private:
   /// injection run CoW-forks it instead of re-running initMemory, so trial
   /// startup is O(mapped pages) and safe across campaign worker threads.
   vm::MemorySnapshot baseMem_;
+  /// Sorted page numbers of baseMem_: the memory-fault site population.
+  std::vector<std::uint64_t> pageNos_;
   std::uint64_t goldenInstrs_ = 0;
   std::vector<std::uint64_t> goldenOutput_;
   // Sampling table: injectable static instructions + cumulative exec counts.

@@ -130,6 +130,17 @@ bool writeAll(int fd, const std::uint8_t* p, std::size_t len) {
         rc = 4;
         break;
       }
+      // Test hook: die in the committed-but-still-claimed window, i.e.
+      // exactly the race the comment below describes. The coordinator must
+      // drain the frame first and then drop the requeue as a duplicate —
+      // the shard's trials may be recomputed but never double-committed.
+      if (svc.testKillAfterCommitTrial >= 0 &&
+          svc.testKillAfterCommitTrial >= start &&
+          svc.testKillAfterCommitTrial < start + count) {
+        std::uint64_t expect = 0;
+        if (hdr->testKillFired.compare_exchange_strong(expect, 1))
+          ::kill(::getpid(), SIGKILL);
+      }
       // Clear the claim only after the frame is fully on the pipe: a death
       // in between makes the coordinator requeue an already-committed
       // shard, which commitShard() drops as a duplicate (records are

@@ -72,6 +72,13 @@ struct ServiceConfig {
   /// Test hook: the first worker to reach this trial index SIGKILLs itself
   /// (once per campaign, via a CAS in shared memory). -1 = off.
   int testKillAtTrial = -1;
+  /// Test hook for the opposite window: the worker whose shard contains
+  /// this trial index SIGKILLs itself *after* its result frame is fully on
+  /// the pipe but *before* it releases its seat claim (once per campaign).
+  /// The coordinator then observes a dead worker still claiming a committed
+  /// shard — the requeue must be dropped as a duplicate, never recounted.
+  /// -1 = off.
+  int testKillAfterCommitTrial = -1;
 };
 
 /// Run trials 0..trials-1 per `svc` and return records in trial-index

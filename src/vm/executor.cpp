@@ -25,6 +25,7 @@ const char* trapKindName(TrapKind k) {
   case TrapKind::Abort: return "SIGABRT";
   case TrapKind::BadPC: return "SIGILL";
   case TrapKind::Sentinel: return "SIGSENT";
+  case TrapKind::EccUncorrectable: return "SIGECC";
   }
   return "?";
 }
@@ -153,7 +154,15 @@ Executor::ResumePoint Executor::resumePoint() {
 
 void Executor::restoreCheckpoint(const ResumePoint& rp, bool preserveOutput) {
   st_ = rp.st;
+  // The ECC mode and correction counters belong to the machine, not the
+  // captured address space: carry them across the fork so a rollback keeps
+  // the protection armed and the accounting cumulative.
+  const EccMode eccMode = mem_.eccMode();
+  const std::uint64_t eccCorrected = mem_.eccCorrected();
+  const std::uint64_t eccUncorrectable = mem_.eccUncorrectable();
   mem_ = rp.mem.fork();
+  mem_.setEccMode(eccMode);
+  mem_.setEccCounters(eccCorrected, eccUncorrectable);
   started_ = rp.started;
   instrCount_ = rp.instrCount;
   if (!preserveOutput) output_ = rp.output;
@@ -222,7 +231,7 @@ RunResult Executor::runReference() {
     std::uint64_t trapAddr = 0;
     bool trapped = false;
     auto memTrap = [&](MemStatus s, std::uint64_t ea) {
-      trapKind = s == MemStatus::Unmapped ? TrapKind::SegFault : TrapKind::Bus;
+      trapKind = trapKindForMem(s);
       trapAddr = ea;
       trapped = true;
     };

@@ -22,9 +22,27 @@
 
 namespace care::vm {
 
-enum class TrapKind : std::uint8_t { SegFault, Bus, Fpe, Abort, BadPC, Sentinel };
+enum class TrapKind : std::uint8_t {
+  SegFault,
+  Bus,
+  Fpe,
+  Abort,
+  BadPC,
+  Sentinel,
+  /// An ECC-protected memory word failed its SECDED check beyond repair —
+  /// the machine-check analogue (DESIGN.md §4i).
+  EccUncorrectable,
+};
 
 const char* trapKindName(TrapKind k);
+
+/// Map a failing typed-memory status to its trap. Shared by all three
+/// backends so ECC/unmapped/misaligned accesses trap identically.
+inline TrapKind trapKindForMem(MemStatus s) {
+  if (s == MemStatus::Unmapped) return TrapKind::SegFault;
+  if (s == MemStatus::EccUncorrectable) return TrapKind::EccUncorrectable;
+  return TrapKind::Bus;
+}
 
 struct Trap {
   TrapKind kind = TrapKind::SegFault;

@@ -69,6 +69,14 @@ RunResult Executor::runFastImpl(bool* switchVariant) {
 
   constexpr std::uint64_t kPageMask = Memory::kPageSize - 1;
 
+  // ECC-armed runs route every memory access through the typed Memory API,
+  // whose accessors verify/correct shadowed words (memory.cpp) — the same
+  // path the reference loop always takes, so trap semantics match by
+  // construction. The inline TLB fast paths below stay untouched for the
+  // common unprotected case; the mode cannot change mid-run (hooks and
+  // restoreCheckpoint preserve it), so one local suffices.
+  const bool eccOn = mem_.eccEnabled();
+
   std::int32_t m = curModule_, fi = curFunc_;
   std::uint64_t ic = instrCount_;
   std::uint64_t bud = budget_ < stopAt_ ? budget_ : stopAt_;
@@ -272,8 +280,57 @@ L_FMovImm:
   NEXT();
 
   // --- loads ----------------------------------------------------------------
+// ECC detour: the typed accessor verifies/corrects the containing word
+// first, then performs the access; its status maps to the same traps the
+// inline paths raise (plus EccUncorrectable).
+#define ECC_LOAD(a, type, lvalue)                                           \
+  do {                                                                      \
+    std::uint64_t v_;                                                       \
+    const MemStatus s_ = mem_.load((a), (type), v_);                        \
+    if (s_ != MemStatus::Ok) {                                              \
+      trapKind = trapKindForMem(s_);                                        \
+      trapAddr = (a);                                                       \
+      goto trapped;                                                         \
+    }                                                                       \
+    (lvalue) = v_;                                                          \
+    NEXT();                                                                 \
+  } while (0)
+#define ECC_LOADF(a, type)                                                  \
+  do {                                                                      \
+    double v_;                                                              \
+    const MemStatus s_ = mem_.loadF((a), (type), v_);                       \
+    if (s_ != MemStatus::Ok) {                                              \
+      trapKind = trapKindForMem(s_);                                        \
+      trapAddr = (a);                                                       \
+      goto trapped;                                                         \
+    }                                                                       \
+    f[d->dst] = v_;                                                         \
+    NEXT();                                                                 \
+  } while (0)
+#define ECC_STORE(a, type, value)                                           \
+  do {                                                                      \
+    const MemStatus s_ = mem_.store((a), (type), (value));                  \
+    if (s_ != MemStatus::Ok) {                                              \
+      trapKind = trapKindForMem(s_);                                        \
+      trapAddr = (a);                                                       \
+      goto trapped;                                                         \
+    }                                                                       \
+    NEXT();                                                                 \
+  } while (0)
+#define ECC_STOREF(a, type, value)                                          \
+  do {                                                                      \
+    const MemStatus s_ = mem_.storeF((a), (type), (value));                 \
+    if (s_ != MemStatus::Ok) {                                              \
+      trapKind = trapKindForMem(s_);                                        \
+      trapAddr = (a);                                                       \
+      goto trapped;                                                         \
+    }                                                                       \
+    NEXT();                                                                 \
+  } while (0)
+
 L_LoadI8: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_LOAD(a, MType::I8, g[d->dst]);
   const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
   g[d->dst] = p[a & kPageMask];
@@ -281,6 +338,7 @@ L_LoadI8: {
 }
 L_LoadI32: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_LOAD(a, MType::I32, g[d->dst]);
   if (a & 3) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -291,6 +349,7 @@ L_LoadI32: {
 }
 L_LoadI64: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_LOAD(a, MType::I64, g[d->dst]);
   if (a & 7) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -301,6 +360,7 @@ L_LoadI64: {
 }
 L_LoadF32: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_LOADF(a, MType::F32);
   if (a & 3) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -311,6 +371,7 @@ L_LoadF32: {
 }
 L_LoadF64: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_LOADF(a, MType::F64);
   if (a & 7) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -321,6 +382,7 @@ L_LoadF64: {
   // --- stores ---------------------------------------------------------------
 L_StoreI8: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_STORE(a, MType::I8, g[d->src1]);
   std::uint8_t* p = mem_.writePage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
   p[a & kPageMask] = static_cast<std::uint8_t>(g[d->src1]);
@@ -328,6 +390,7 @@ L_StoreI8: {
 }
 L_StoreI32: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_STORE(a, MType::I32, g[d->src1]);
   if (a & 3) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   std::uint8_t* p = mem_.writePage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -337,6 +400,7 @@ L_StoreI32: {
 }
 L_StoreI64: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_STORE(a, MType::I64, g[d->src1]);
   if (a & 7) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   std::uint8_t* p = mem_.writePage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -345,6 +409,7 @@ L_StoreI64: {
 }
 L_StoreF32: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_STOREF(a, MType::F32, f[d->src1]);
   if (a & 3) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   std::uint8_t* p = mem_.writePage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -354,6 +419,7 @@ L_StoreF32: {
 }
 L_StoreF64: {
   const std::uint64_t a = EA(*d);
+  if (__builtin_expect(eccOn, 0)) ECC_STOREF(a, MType::F64, f[d->src1]);
   if (a & 7) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
   std::uint8_t* p = mem_.writePage(a >> Memory::kPageShift);
   if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -450,22 +516,23 @@ L_IAluMem: {
   const std::uint64_t a = EA(*d);
   std::uint64_t v;
   const MType t = static_cast<MType>(d->memType);
-  if (t == MType::I32) {
+  if (t == MType::I32 && !__builtin_expect(eccOn, 0)) {
     if (a & 3) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
     const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
     if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
     std::int32_t w;
     std::memcpy(&w, p + (a & kPageMask), 4);
     v = static_cast<std::uint64_t>(static_cast<std::int64_t>(w));
-  } else if (t == MType::I64) {
+  } else if (t == MType::I64 && !eccOn) {
     if (a & 7) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
     const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
     if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
     std::memcpy(&v, p + (a & kPageMask), 8);
   } else {
+    // Generic accessor: I8, and every width when ECC is armed.
     const MemStatus s = mem_.load(a, d->memType, v);
     if (s != MemStatus::Ok) {
-      trapKind = s == MemStatus::Unmapped ? TrapKind::SegFault : TrapKind::Bus;
+      trapKind = trapKindForMem(s);
       trapAddr = a;
       goto trapped;
     }
@@ -498,12 +565,12 @@ L_FAluMem: {
   const std::uint64_t a = EA(*d);
   double v;
   const MType t = static_cast<MType>(d->memType);
-  if (t == MType::F64) {
+  if (t == MType::F64 && !__builtin_expect(eccOn, 0)) {
     if (a & 7) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
     const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
     if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
     std::memcpy(&v, p + (a & kPageMask), 8);
-  } else if (t == MType::F32) {
+  } else if (t == MType::F32 && !eccOn) {
     if (a & 3) { trapKind = TrapKind::Bus; trapAddr = a; goto trapped; }
     const std::uint8_t* p = mem_.readPage(a >> Memory::kPageShift);
     if (!p) { trapKind = TrapKind::SegFault; trapAddr = a; goto trapped; }
@@ -513,7 +580,7 @@ L_FAluMem: {
   } else {
     const MemStatus s = mem_.loadF(a, d->memType, v);
     if (s != MemStatus::Ok) {
-      trapKind = s == MemStatus::Unmapped ? TrapKind::SegFault : TrapKind::Bus;
+      trapKind = trapKindForMem(s);
       trapAddr = a;
       goto trapped;
     }
@@ -592,10 +659,19 @@ L_Jmp:
   // --- calls ------------------------------------------------------------------
 L_Call: {
   const std::uint64_t newSP = g[backend::kSP] - 8;
-  if (newSP & 7) { trapKind = TrapKind::Bus; trapAddr = newSP; goto trapped; }
-  std::uint8_t* p = mem_.writePage(newSP >> Memory::kPageShift);
-  if (!p) { trapKind = TrapKind::SegFault; trapAddr = newSP; goto trapped; }
-  std::memcpy(p + (newSP & kPageMask), &d->retPC, 8);
+  if (__builtin_expect(eccOn, 0)) {
+    const MemStatus s = mem_.store(newSP, MType::I64, d->retPC);
+    if (s != MemStatus::Ok) {
+      trapKind = trapKindForMem(s);
+      trapAddr = newSP;
+      goto trapped;
+    }
+  } else {
+    if (newSP & 7) { trapKind = TrapKind::Bus; trapAddr = newSP; goto trapped; }
+    std::uint8_t* p = mem_.writePage(newSP >> Memory::kPageShift);
+    if (!p) { trapKind = TrapKind::SegFault; trapAddr = newSP; goto trapped; }
+    std::memcpy(p + (newSP & kPageMask), &d->retPC, 8);
+  }
   g[backend::kSP] = newSP;
   const CallRef callee = d->call;
   if constexpr (kInstrumented) {
@@ -620,11 +696,20 @@ L_Call: {
 }
 L_Ret: {
   const std::uint64_t sp = g[backend::kSP];
-  if (sp & 7) { trapKind = TrapKind::Bus; trapAddr = sp; goto trapped; }
-  const std::uint8_t* p = mem_.readPage(sp >> Memory::kPageShift);
-  if (!p) { trapKind = TrapKind::SegFault; trapAddr = sp; goto trapped; }
   std::uint64_t retPC;
-  std::memcpy(&retPC, p + (sp & kPageMask), 8);
+  if (__builtin_expect(eccOn, 0)) {
+    const MemStatus s = mem_.load(sp, MType::I64, retPC);
+    if (s != MemStatus::Ok) {
+      trapKind = trapKindForMem(s);
+      trapAddr = sp;
+      goto trapped;
+    }
+  } else {
+    if (sp & 7) { trapKind = TrapKind::Bus; trapAddr = sp; goto trapped; }
+    const std::uint8_t* p = mem_.readPage(sp >> Memory::kPageShift);
+    if (!p) { trapKind = TrapKind::SegFault; trapAddr = sp; goto trapped; }
+    std::memcpy(&retPC, p + (sp & kPageMask), 8);
+  }
   g[backend::kSP] = sp + 8;
   if (retPC == Image::kHaltPC) {
     SYNC();
@@ -764,6 +849,10 @@ trapped:
     return res;
   }
 
+#undef ECC_LOAD
+#undef ECC_LOADF
+#undef ECC_STORE
+#undef ECC_STOREF
 #undef DISPATCH
 #undef NEXT
 #undef BR_TAKEN

@@ -19,7 +19,6 @@
 // interpreter burst executes at least one.
 #include "vm/executor.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,17 +34,14 @@ constexpr std::uint64_t kBurst = 65536;
 } // namespace
 
 RunResult Executor::runJit() {
-  // Profiling counts and nth-execution injection watchpoints need the
-  // interpreter's per-instruction checks; results are identical either way.
-  if (profiling_ || injArmed_) return runFast();
+  // Profiling counts, nth-execution injection watchpoints and ECC-armed
+  // memory need per-access checks the emitted templates don't carry; the
+  // fast interpreter provides them with identical results.
+  if (profiling_ || injArmed_ || mem_.eccEnabled()) return runFast();
 
   JitImage& jimg = image_->jit();
   if (!jimg.usable()) {
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true))
-      std::fprintf(stderr,
-                   "[care] jit: executable mappings unavailable; falling "
-                   "back to the fast interpreter\n");
+    warnJitUnavailableOnce();
     return runFast();
   }
 
@@ -72,7 +68,7 @@ RunResult Executor::runJit() {
     }
     // A trap hook may have armed instrumentation mid-run; hand the rest of
     // the run over, like the plain fast-loop variant does.
-    if (profiling_ || injArmed_) return runFast();
+    if (profiling_ || injArmed_ || mem_.eccEnabled()) return runFast();
 
     const void* entry =
         jimg.entryFor(curModule_, curFunc_, curInstr_, instrCount_, stop);

@@ -52,6 +52,27 @@ std::uint64_t jitThresholdFromEnv(std::uint64_t fallback) {
   return v == 0 ? 1 : v;
 }
 
+namespace {
+std::once_flag gWarnJitOnce;
+std::atomic<int> gWarnJitCount{0};
+} // namespace
+
+bool warnJitUnavailableOnce() {
+  bool emitted = false;
+  std::call_once(gWarnJitOnce, [&emitted] {
+    std::fprintf(stderr,
+                 "[care] jit: executable mappings unavailable; falling "
+                 "back to the fast interpreter\n");
+    gWarnJitCount.fetch_add(1, std::memory_order_relaxed);
+    emitted = true;
+  });
+  return emitted;
+}
+
+int jitUnavailableWarnCount() {
+  return gWarnJitCount.load(std::memory_order_relaxed);
+}
+
 // ---- runtime helpers called from emitted code ------------------------------
 
 extern "C" {

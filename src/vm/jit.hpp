@@ -62,6 +62,14 @@ bool jitAvailable();
 /// to the interpreter.
 std::uint64_t jitThresholdFromEnv(std::uint64_t fallback = 1);
 
+/// Emit the "executable mappings unavailable, falling back" warning —
+/// exactly once per process, no matter how many Images or Executors hit
+/// the condition (std::once_flag). Returns true on the call that emitted.
+bool warnJitUnavailableOnce();
+/// How many times the warning has actually been printed (0 or 1). Test
+/// hook for the once-per-process guarantee.
+int jitUnavailableWarnCount();
+
 /// The state block native code runs against. Fixed host registers cache
 /// the hot fields (g/f bases, read-TLB base, instruction counter); exits
 /// write the position/trap fields back for the driver. Plain

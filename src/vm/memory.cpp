@@ -1,5 +1,6 @@
 #include "vm/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "support/error.hpp"
@@ -77,10 +78,24 @@ void Memory::flushTlb() const {
 
 void Memory::flushWriteTlb() const { writeTlb_.fill(TlbEntry{}); }
 
+void Memory::moveEccFrom(Memory& other) {
+  eccMode_ = other.eccMode_;
+  eccCorrected_ = other.eccCorrected_;
+  eccUncorrectable_ = other.eccUncorrectable_;
+  eccPages_ = std::move(other.eccPages_);
+  eccWordCrc_ = std::move(other.eccWordCrc_);
+  other.eccMode_ = EccMode::Off;
+  other.eccCorrected_ = 0;
+  other.eccUncorrectable_ = 0;
+  other.eccPages_.clear();
+  other.eccWordCrc_.clear();
+}
+
 Memory::Memory(Memory&& other) noexcept : pages_(std::move(other.pages_)) {
   other.pages_.clear();
   other.flushTlb();
   flushTlb();
+  moveEccFrom(other);
 }
 
 Memory& Memory::operator=(Memory&& other) noexcept {
@@ -89,6 +104,7 @@ Memory& Memory::operator=(Memory&& other) noexcept {
     other.pages_.clear();
     other.flushTlb();
     flushTlb();
+    moveEccFrom(other);
   }
   return *this;
 }
@@ -97,6 +113,14 @@ MemStatus Memory::load(std::uint64_t addr, MType type,
                        std::uint64_t& out) const {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
+  if (eccActive()) {
+    // Verify (and correct in place) the containing word before reading.
+    // eccCheckWord only mutates ECC bookkeeping and corrected page bytes —
+    // logically a mutable cache repair, hence the const_cast.
+    const MemStatus es =
+        const_cast<Memory*>(this)->eccCheckWord(addr & ~7ull);
+    if (es != MemStatus::Ok) return es;
+  }
   const std::uint8_t* page = readPage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
   const std::uint64_t off = addr % kPageSize; // size-aligned: no page split
@@ -116,6 +140,11 @@ MemStatus Memory::load(std::uint64_t addr, MType type,
 MemStatus Memory::loadF(std::uint64_t addr, MType type, double& out) const {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
+  if (eccActive()) {
+    const MemStatus es =
+        const_cast<Memory*>(this)->eccCheckWord(addr & ~7ull);
+    if (es != MemStatus::Ok) return es;
+  }
   const std::uint8_t* page = readPage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
   const std::uint64_t off = addr % kPageSize;
@@ -132,15 +161,26 @@ MemStatus Memory::loadF(std::uint64_t addr, MType type, double& out) const {
 MemStatus Memory::store(std::uint64_t addr, MType type, std::uint64_t v) {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
+  // A sub-word store must verify the word first: re-encoding after the
+  // write would launder a latent error in the bytes it does not overwrite.
+  if (eccActive() && size < 8) {
+    const MemStatus es = eccCheckWord(addr & ~7ull);
+    if (es != MemStatus::Ok) return es;
+  }
   std::uint8_t* page = writePage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
   std::memcpy(page + addr % kPageSize, &v, size);
+  if (eccActive()) eccEncodeWord(addr & ~7ull);
   return MemStatus::Ok;
 }
 
 MemStatus Memory::storeF(std::uint64_t addr, MType type, double v) {
   const unsigned size = mtypeSize(type);
   if (addr % size != 0) return MemStatus::Misaligned;
+  if (eccActive() && size < 8) {
+    const MemStatus es = eccCheckWord(addr & ~7ull);
+    if (es != MemStatus::Ok) return es;
+  }
   std::uint8_t* page = writePage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
   if (type == MType::F32) {
@@ -149,6 +189,7 @@ MemStatus Memory::storeF(std::uint64_t addr, MType type, double v) {
   } else {
     std::memcpy(page + addr % kPageSize, &v, 8);
   }
+  if (eccActive()) eccEncodeWord(addr & ~7ull);
   return MemStatus::Ok;
 }
 
@@ -170,6 +211,7 @@ bool Memory::readBytes(std::uint64_t addr, void* out,
 
 bool Memory::writeBytes(std::uint64_t addr, const void* data,
                         std::uint64_t len) {
+  const std::uint64_t start = addr;
   const auto* src = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
     std::uint8_t* page = writePage(addr / kPageSize);
@@ -181,7 +223,114 @@ bool Memory::writeBytes(std::uint64_t addr, const void* data,
     addr += chunk;
     len -= chunk;
   }
+  // Raw writes (loader init, register-model repair writeback) keep any
+  // existing shadow consistent: the written bytes become the protected
+  // truth, exactly as a full overwrite through the typed path would.
+  if (eccActive())
+    for (std::uint64_t w = start & ~7ull; w < addr; w += 8) eccEncodeWord(w);
   return true;
+}
+
+std::vector<std::uint64_t> Memory::pageNumbers() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(pages_.size());
+  for (const auto& [pageNo, page] : pages_) out.push_back(pageNo);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Memory::injectFault(std::uint64_t addr, const std::vector<unsigned>& bits) {
+  const std::uint64_t wordAddr = addr & ~7ull;
+  const std::uint64_t pageNo = wordAddr / kPageSize;
+  std::uint8_t* page = writePage(pageNo);
+  if (!page) return false;
+  if (eccMode_ != EccMode::Off) ensureEccPage(pageNo, page);
+  const std::uint64_t off = wordAddr % kPageSize;
+  std::uint64_t word = 0;
+  std::memcpy(&word, page + off, 8);
+  if (eccMode_ == EccMode::SecdedCrc) eccWordCrc_[wordAddr] = ecc::crc64Word(word);
+  for (unsigned b : bits) word ^= 1ull << (b & 63);
+  std::memcpy(page + off, &word, 8);
+  return true;
+}
+
+MemStatus Memory::eccCheckWord(std::uint64_t wordAddr) {
+  auto it = eccPages_.find(wordAddr / kPageSize);
+  if (it == eccPages_.end()) return MemStatus::Ok;
+  std::uint8_t* page = writePage(wordAddr / kPageSize);
+  if (!page) return MemStatus::Ok; // shadow for an unmapped page: moot
+  const std::uint64_t off = wordAddr % kPageSize;
+  const std::size_t wi = static_cast<std::size_t>(off / 8);
+  std::uint64_t word = 0;
+  std::memcpy(&word, page + off, 8);
+  std::uint64_t fixed = word;
+  const ecc::Secded r = ecc::secdedDecode(fixed, (*it->second)[wi]);
+  if (r == ecc::Secded::Uncorrectable) {
+    ++eccUncorrectable_;
+    return MemStatus::EccUncorrectable;
+  }
+  if (eccMode_ == EccMode::SecdedCrc) {
+    // Scrub cross-check: SECDED can alias a wide burst to "clean" or to a
+    // bogus single-bit fix. The CRC of the pre-fault word arbitrates once,
+    // on the first check after injection.
+    auto ci = eccWordCrc_.find(wordAddr);
+    if (ci != eccWordCrc_.end()) {
+      if (ecc::crc64Word(fixed) != ci->second) {
+        ++eccUncorrectable_;
+        return MemStatus::EccUncorrectable;
+      }
+      eccWordCrc_.erase(ci);
+    }
+  }
+  if (r == ecc::Secded::Corrected) {
+    ++eccCorrected_;
+    if (fixed != word) std::memcpy(page + off, &fixed, 8);
+    eccPageForWrite(wordAddr / kPageSize)[wi] = ecc::secdedEncode(fixed);
+  }
+  return MemStatus::Ok;
+}
+
+void Memory::eccEncodeWord(std::uint64_t wordAddr) {
+  const std::uint64_t pageNo = wordAddr / kPageSize;
+  if (eccPages_.find(pageNo) == eccPages_.end()) return;
+  const std::uint8_t* page = writePage(pageNo);
+  if (!page) return;
+  const std::uint64_t off = wordAddr % kPageSize;
+  std::uint64_t word = 0;
+  std::memcpy(&word, page + off, 8);
+  eccPageForWrite(pageNo)[off / 8] = ecc::secdedEncode(word);
+  // An overwrite retires any pending scrub entry: the faulted pre-image is
+  // gone, so there is nothing left to cross-check.
+  if (eccMode_ == EccMode::SecdedCrc) eccWordCrc_.erase(wordAddr);
+}
+
+void Memory::ensureEccPage(std::uint64_t pageNo, const std::uint8_t* pageData) {
+  std::shared_ptr<EccPage>& slot = eccPages_[pageNo];
+  if (slot) return;
+  slot = std::make_shared<EccPage>();
+  for (std::size_t wi = 0; wi < kPageSize / 8; ++wi) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, pageData + wi * 8, 8);
+    (*slot)[wi] = ecc::secdedEncode(word);
+  }
+}
+
+Memory::EccPage& Memory::eccPageForWrite(std::uint64_t pageNo) {
+  std::shared_ptr<EccPage>& slot = eccPages_[pageNo];
+  if (slot.use_count() > 1) slot = std::make_shared<EccPage>(*slot);
+  return *slot;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Memory::scrubEcc() {
+  const std::uint64_t c0 = eccCorrected_, u0 = eccUncorrectable_;
+  std::vector<std::uint64_t> pageNos;
+  pageNos.reserve(eccPages_.size());
+  for (const auto& [pageNo, shadow] : eccPages_) pageNos.push_back(pageNo);
+  std::sort(pageNos.begin(), pageNos.end());
+  for (std::uint64_t pageNo : pageNos)
+    for (std::uint64_t wi = 0; wi < kPageSize / 8; ++wi)
+      (void)eccCheckWord(pageNo * kPageSize + wi * 8);
+  return {eccCorrected_ - c0, eccUncorrectable_ - u0};
 }
 
 Memory Memory::clone() const {
@@ -191,12 +340,22 @@ Memory Memory::clone() const {
   flushWriteTlb();
   Memory out;
   out.pages_ = pages_;
+  out.eccMode_ = eccMode_;
+  out.eccCorrected_ = eccCorrected_;
+  out.eccUncorrectable_ = eccUncorrectable_;
+  out.eccPages_ = eccPages_;
+  out.eccWordCrc_ = eccWordCrc_;
   return out;
 }
 
 void Memory::restoreFrom(const Memory& other) {
   other.flushWriteTlb();
   pages_ = other.pages_;
+  eccMode_ = other.eccMode_;
+  eccCorrected_ = other.eccCorrected_;
+  eccUncorrectable_ = other.eccUncorrectable_;
+  eccPages_ = other.eccPages_;
+  eccWordCrc_ = other.eccWordCrc_;
   flushTlb();
 }
 
@@ -204,14 +363,28 @@ MemorySnapshot MemorySnapshot::capture(Memory& m) {
   m.flushWriteTlb();
   MemorySnapshot s;
   s.pages_ = m.pages_;
+  s.eccPages_ = m.eccPages_;
+  s.eccWordCrc_ = m.eccWordCrc_;
   return s;
 }
 
 Memory MemorySnapshot::fork() const {
-  // Only copies the page map and bumps atomic refcounts — safe to call
-  // concurrently from campaign worker threads.
+  // Only copies the page maps and bumps atomic refcounts — safe to call
+  // concurrently from campaign worker threads. The ECC mode and counters
+  // intentionally do not travel with the snapshot; Executor re-applies
+  // them (restoreCheckpoint) or the trial sets them up front.
   Memory out;
   out.pages_ = pages_;
+  out.eccPages_ = eccPages_;
+  out.eccWordCrc_ = eccWordCrc_;
+  return out;
+}
+
+std::vector<std::uint64_t> MemorySnapshot::pageNumbers() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(pages_.size());
+  for (const auto& [pageNo, page] : pages_) out.push_back(pageNo);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -23,12 +23,21 @@
 #include <memory>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "backend/mir.hpp"
+#include "vm/ecc.hpp"
 
 namespace care::vm {
 
-enum class MemStatus : std::uint8_t { Ok, Unmapped, Misaligned };
+enum class MemStatus : std::uint8_t {
+  Ok,
+  Unmapped,
+  Misaligned,
+  /// An ECC-protected word failed its SECDED check beyond repair (double
+  /// bit, or a CRC-scrub mismatch in secded,crc mode).
+  EccUncorrectable,
+};
 
 class MemorySnapshot;
 
@@ -58,6 +67,46 @@ public:
   bool writeBytes(std::uint64_t addr, const void* data, std::uint64_t len);
 
   std::uint64_t mappedBytes() const { return pages_.size() * kPageSize; }
+
+  /// Sorted page numbers of every mapped page (fault-site sampling and
+  /// memory digests).
+  std::vector<std::uint64_t> pageNumbers() const;
+
+  /// --- ECC layer (DESIGN.md §4i) -------------------------------------
+  ///
+  /// Opt-in SECDED(72,64) shadow over VM pages. Shadows are lazy: a page
+  /// gets a code-byte shadow only when injectFault() touches it — every
+  /// other store goes through the typed accessors, which keep any existing
+  /// shadow in sync, so a page without a shadow is by construction clean
+  /// and behaves exactly as if it had been eagerly encoded. Typed loads
+  /// verify (and correct) the containing 64-bit word before reading;
+  /// sub-word stores verify first so a latent corrupted neighbor byte is
+  /// never laundered into a freshly encoded word. Uncorrectable words
+  /// surface as MemStatus::EccUncorrectable.
+  void setEccMode(EccMode m) { eccMode_ = m; }
+  EccMode eccMode() const { return eccMode_; }
+  bool eccEnabled() const { return eccMode_ != EccMode::Off; }
+  std::uint64_t eccCorrected() const { return eccCorrected_; }
+  std::uint64_t eccUncorrectable() const { return eccUncorrectable_; }
+  /// Re-seat the counters (Executor::restoreCheckpoint re-applies them
+  /// across the snapshot fork so rollbacks don't reset ECC accounting).
+  void setEccCounters(std::uint64_t corrected, std::uint64_t uncorrectable) {
+    eccCorrected_ = corrected;
+    eccUncorrectable_ = uncorrectable;
+  }
+
+  /// Flip `bits` (positions 0..63) in the aligned 64-bit word containing
+  /// `addr`, bypassing ECC maintenance — this is the soft fault. When ECC
+  /// is armed the page's shadow is materialized from the pre-fault
+  /// contents first (and secded,crc records the pre-fault word's CRC), so
+  /// the flip becomes a detectable mismatch. Returns false if unmapped.
+  bool injectFault(std::uint64_t addr, const std::vector<unsigned>& bits);
+
+  /// Verify every shadowed word, correcting what SECDED can fix — the
+  /// background-scrub analogue, run by the injector at end of trial so
+  /// faults in never-again-read words still meet the detector. Returns
+  /// {corrected, uncorrectable} deltas (also added to the counters).
+  std::pair<std::uint64_t, std::uint64_t> scrubEcc();
 
   /// Snapshot of the whole address space (checkpoint support). O(mapped
   /// pages) map copy; page *storage* is shared copy-on-write, so untouched
@@ -116,15 +165,40 @@ private:
 
   using Page = std::array<std::uint8_t, kPageSize>;
   using PageMap = std::unordered_map<std::uint64_t, std::shared_ptr<Page>>;
+  /// One SECDED code byte per aligned 64-bit word of a page.
+  using EccPage = std::array<std::uint8_t, kPageSize / 8>;
+  using EccPageMap =
+      std::unordered_map<std::uint64_t, std::shared_ptr<EccPage>>;
+  using EccCrcMap = std::unordered_map<std::uint64_t, std::uint64_t>;
 
   const std::uint8_t* readMiss(std::uint64_t pageNo) const;
   std::uint8_t* writeMiss(std::uint64_t pageNo);
   void flushTlb() const;
   void flushWriteTlb() const;
 
+  /// True when a typed access must consult the shadow. Shadows only exist
+  /// after injectFault(), so clean runs pay one short-circuited branch.
+  bool eccActive() const {
+    return eccMode_ != EccMode::Off && !eccPages_.empty();
+  }
+  /// Verify/correct the shadowed word at `wordAddr` (8-aligned). Ok when
+  /// the page has no shadow.
+  MemStatus eccCheckWord(std::uint64_t wordAddr);
+  /// Recompute the code byte for the (just overwritten) word at `wordAddr`
+  /// and drop any pending CRC-scrub entry. No-op without a shadow.
+  void eccEncodeWord(std::uint64_t wordAddr);
+  void ensureEccPage(std::uint64_t pageNo, const std::uint8_t* pageData);
+  EccPage& eccPageForWrite(std::uint64_t pageNo);
+  void moveEccFrom(Memory& other);
+
   PageMap pages_;
   mutable Tlb readTlb_{};
   mutable Tlb writeTlb_{};
+  EccMode eccMode_ = EccMode::Off;
+  std::uint64_t eccCorrected_ = 0;
+  std::uint64_t eccUncorrectable_ = 0;
+  EccPageMap eccPages_;
+  EccCrcMap eccWordCrc_;
 };
 
 /// An immutable, shareable image of an address space. capture() shares the
@@ -143,9 +217,17 @@ public:
   std::uint64_t mappedBytes() const {
     return pages_.size() * Memory::kPageSize;
   }
+  /// Sorted page numbers (fault-site sampling over the golden image).
+  std::vector<std::uint64_t> pageNumbers() const;
 
 private:
   Memory::PageMap pages_;
+  // ECC shadow state rides along so rollback restores the exact
+  // detection state captured at the checkpoint (the ECC *mode* and
+  // counters stay on the live Memory; Executor::restoreCheckpoint
+  // re-applies them across fork()).
+  Memory::EccPageMap eccPages_;
+  Memory::EccCrcMap eccWordCrc_;
 };
 
 } // namespace care::vm

@@ -1,0 +1,261 @@
+// SECDED (72,64) ECC tests (DESIGN.md §4i): codec exhaustiveness (every
+// single-bit data/check/parity error corrects, every adjacent double-bit
+// error is flagged), the Memory-level shadow protocol (lazy materialization
+// on injectFault, correct-on-read, verify-before-sub-word-store, full-word
+// re-encode), the patrol scrub, CRC cross-validation of wide bursts, the
+// snapshot/rollback round trip of shadow state, and option parsing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "backend/mir.hpp"
+#include "support/error.hpp"
+#include "vm/ecc.hpp"
+#include "vm/memory.hpp"
+
+namespace care::test {
+namespace {
+
+using vm::EccMode;
+using vm::MemStatus;
+using vm::Memory;
+using vm::ecc::Secded;
+
+const std::uint64_t kWords[] = {
+    0x0ull,
+    ~0x0ull,
+    0x0123456789abcdefull,
+    0xdeadbeefcafef00dull,
+    0x8000000000000001ull,
+    0x5555555555555555ull,
+    0xaaaaaaaaaaaaaaaaull,
+    0x3ff0000000000000ull, // double 1.0
+};
+
+TEST(Secded, CleanWordsDecodeOk) {
+  for (const std::uint64_t w : kWords) {
+    std::uint64_t d = w;
+    EXPECT_EQ(vm::ecc::secdedDecode(d, vm::ecc::secdedEncode(w)), Secded::Ok);
+    EXPECT_EQ(d, w);
+  }
+}
+
+TEST(Secded, EverySingleDataBitErrorIsCorrected) {
+  for (const std::uint64_t w : kWords) {
+    const std::uint8_t code = vm::ecc::secdedEncode(w);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      std::uint64_t d = w ^ (1ull << bit);
+      EXPECT_EQ(vm::ecc::secdedDecode(d, code), Secded::Corrected)
+          << "bit " << bit;
+      EXPECT_EQ(d, w) << "bit " << bit << " not restored";
+    }
+  }
+}
+
+TEST(Secded, EveryCheckAndParityBitErrorIsCorrectedWithDataUntouched) {
+  for (const std::uint64_t w : kWords) {
+    const std::uint8_t code = vm::ecc::secdedEncode(w);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      std::uint64_t d = w;
+      EXPECT_EQ(vm::ecc::secdedDecode(
+                    d, static_cast<std::uint8_t>(code ^ (1u << bit))),
+                Secded::Corrected)
+          << "code bit " << bit;
+      EXPECT_EQ(d, w) << "code bit " << bit << " touched the data";
+    }
+  }
+}
+
+TEST(Secded, EveryAdjacentDoubleBitErrorIsUncorrectable) {
+  for (const std::uint64_t w : kWords) {
+    const std::uint8_t code = vm::ecc::secdedEncode(w);
+    for (unsigned bit = 0; bit + 1 < 64; ++bit) {
+      std::uint64_t d = w ^ (3ull << bit);
+      EXPECT_EQ(vm::ecc::secdedDecode(d, code), Secded::Uncorrectable)
+          << "bits " << bit << "," << bit + 1;
+      EXPECT_EQ(d, w ^ (3ull << bit)) << "uncorrectable word was modified";
+    }
+  }
+}
+
+TEST(Secded, SpreadDoubleBitErrorsAreUncorrectable) {
+  const std::uint64_t w = 0x0123456789abcdefull;
+  const std::uint8_t code = vm::ecc::secdedEncode(w);
+  const unsigned pairs[][2] = {{0, 63}, {1, 32}, {7, 40}, {13, 14}, {30, 59}};
+  for (const auto& p : pairs) {
+    std::uint64_t d = w ^ (1ull << p[0]) ^ (1ull << p[1]);
+    EXPECT_EQ(vm::ecc::secdedDecode(d, code), Secded::Uncorrectable)
+        << "bits " << p[0] << "," << p[1];
+  }
+  // One data bit plus one check bit is also a double error.
+  std::uint64_t d = w ^ (1ull << 5);
+  EXPECT_EQ(vm::ecc::secdedDecode(d, static_cast<std::uint8_t>(code ^ 1u)),
+            Secded::Uncorrectable);
+}
+
+TEST(Secded, Crc64DistinguishesWords) {
+  EXPECT_NE(vm::ecc::crc64Word(0), vm::ecc::crc64Word(1));
+  EXPECT_NE(vm::ecc::crc64Word(0x12345678ull), vm::ecc::crc64Word(0x12345679ull));
+  EXPECT_EQ(vm::ecc::crc64Word(0xdeadbeefull), vm::ecc::crc64Word(0xdeadbeefull));
+}
+
+TEST(EccMode, ParsesAndRoundTrips) {
+  EXPECT_EQ(vm::parseEccMode("off"), EccMode::Off);
+  EXPECT_EQ(vm::parseEccMode("none"), EccMode::Off);
+  EXPECT_EQ(vm::parseEccMode("secded"), EccMode::Secded);
+  EXPECT_EQ(vm::parseEccMode("secded,crc"), EccMode::SecdedCrc);
+  for (EccMode m : {EccMode::Off, EccMode::Secded, EccMode::SecdedCrc})
+    EXPECT_EQ(vm::parseEccMode(vm::eccModeName(m)), m);
+  EXPECT_THROW(vm::parseEccMode("chipkill"), Error);
+  EXPECT_THROW(vm::parseEccMode(""), Error);
+}
+
+// --- Memory-level shadow protocol -------------------------------------------
+
+constexpr std::uint64_t kBase = 0x10000;
+
+Memory protectedMemory(EccMode mode = EccMode::Secded) {
+  Memory m;
+  m.map(kBase, Memory::kPageSize);
+  m.setEccMode(mode);
+  return m;
+}
+
+TEST(EccMemory, SingleBitFaultIsCorrectedOnRead) {
+  Memory m = protectedMemory();
+  ASSERT_EQ(m.store(kBase, backend::MType::I64, 0x1122334455667788ull),
+            MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase, {9}));
+  std::uint64_t out = 0;
+  EXPECT_EQ(m.load(kBase, backend::MType::I64, out), MemStatus::Ok);
+  EXPECT_EQ(out, 0x1122334455667788ull);
+  EXPECT_EQ(m.eccCorrected(), 1u);
+  EXPECT_EQ(m.eccUncorrectable(), 0u);
+  // The correction is persistent: the next read is clean, no new count.
+  EXPECT_EQ(m.load(kBase, backend::MType::I64, out), MemStatus::Ok);
+  EXPECT_EQ(m.eccCorrected(), 1u);
+}
+
+TEST(EccMemory, DoubleBitFaultSurfacesAsEccUncorrectable) {
+  Memory m = protectedMemory();
+  ASSERT_EQ(m.store(kBase + 8, backend::MType::I64, 42), MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase + 8, {3, 4}));
+  std::uint64_t out = 0;
+  EXPECT_EQ(m.load(kBase + 8, backend::MType::I64, out),
+            MemStatus::EccUncorrectable);
+  EXPECT_EQ(m.eccUncorrectable(), 1u);
+  EXPECT_EQ(m.eccCorrected(), 0u);
+}
+
+TEST(EccMemory, SubWordLoadVerifiesTheContainingWord) {
+  Memory m = protectedMemory();
+  ASSERT_EQ(m.store(kBase, backend::MType::I64, 0x00ff00ff00ff00ffull),
+            MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase, {40})); // corrupt byte 5...
+  std::uint64_t out = 0;
+  EXPECT_EQ(m.load(kBase, backend::MType::I8, out), MemStatus::Ok);
+  EXPECT_EQ(out, 0xffu); // ...but even a byte-0 load heals the whole word
+  EXPECT_EQ(m.eccCorrected(), 1u);
+  EXPECT_EQ(m.load(kBase + 4, backend::MType::I32, out), MemStatus::Ok);
+  EXPECT_EQ(out, 0x00ff00ffull);
+  EXPECT_EQ(m.eccCorrected(), 1u);
+}
+
+TEST(EccMemory, SubWordStoreRefusesToLaunderAnUncorrectableWord) {
+  // A sub-word store must verify first: blindly re-encoding around a
+  // latent double-bit corruption would turn a detectable fault into SDC.
+  Memory m = protectedMemory();
+  ASSERT_EQ(m.store(kBase, backend::MType::I64, 7), MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase, {20, 21}));
+  EXPECT_EQ(m.store(kBase, backend::MType::I8, 1),
+            MemStatus::EccUncorrectable);
+  EXPECT_EQ(m.eccUncorrectable(), 1u);
+}
+
+TEST(EccMemory, FullWordStoreReencodesOverAnyFault) {
+  // A full 64-bit store overwrites the whole word, so the shadow is simply
+  // recomputed — even a previously uncorrectable word becomes clean.
+  Memory m = protectedMemory();
+  ASSERT_EQ(m.store(kBase, backend::MType::I64, 7), MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase, {50, 51}));
+  EXPECT_EQ(m.store(kBase, backend::MType::I64, 99), MemStatus::Ok);
+  std::uint64_t out = 0;
+  EXPECT_EQ(m.load(kBase, backend::MType::I64, out), MemStatus::Ok);
+  EXPECT_EQ(out, 99u);
+  EXPECT_EQ(m.eccCorrected(), 0u);
+  EXPECT_EQ(m.eccUncorrectable(), 0u);
+}
+
+TEST(EccMemory, ScrubPatrolsEveryShadowedWord) {
+  Memory m = protectedMemory();
+  ASSERT_EQ(m.store(kBase, backend::MType::I64, 1), MemStatus::Ok);
+  ASSERT_EQ(m.store(kBase + 64, backend::MType::I64, 2), MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase, {5}));       // correctable
+  ASSERT_TRUE(m.injectFault(kBase + 64, {8, 9})); // uncorrectable
+  const auto [corrected, uncorrectable] = m.scrubEcc();
+  EXPECT_EQ(corrected, 1u);
+  EXPECT_EQ(uncorrectable, 1u);
+  EXPECT_EQ(m.eccCorrected(), 1u);
+  EXPECT_EQ(m.eccUncorrectable(), 1u);
+  // The correctable word really was repaired in place.
+  std::uint64_t out = 0;
+  EXPECT_EQ(m.load(kBase, backend::MType::I64, out), MemStatus::Ok);
+  EXPECT_EQ(out, 1u);
+  // A second patrol finds nothing new to correct.
+  const auto [c2, u2] = m.scrubEcc();
+  EXPECT_EQ(c2, 0u);
+  EXPECT_EQ(u2, 1u) << "uncorrectable words stay flagged on every patrol";
+}
+
+TEST(EccMemory, CrcModeCatchesWideBurstsSecdedWouldMisjudge) {
+  // A >=3-bit burst can alias to a clean or single-bit syndrome; the
+  // secded,crc mode cross-validates against the recorded pre-fault CRC and
+  // refuses to return data that only looks corrected.
+  for (const std::vector<unsigned> burst :
+       {std::vector<unsigned>{0, 1, 2}, std::vector<unsigned>{4, 17, 33, 52}}) {
+    Memory m = protectedMemory(EccMode::SecdedCrc);
+    ASSERT_EQ(m.store(kBase, backend::MType::I64, 0xfeedfacefeedfaceull),
+              MemStatus::Ok);
+    ASSERT_TRUE(m.injectFault(kBase, burst));
+    std::uint64_t out = 0;
+    EXPECT_EQ(m.load(kBase, backend::MType::I64, out),
+              MemStatus::EccUncorrectable);
+    EXPECT_GE(m.eccUncorrectable(), 1u);
+  }
+}
+
+TEST(EccMemory, ShadowSurvivesSnapshotForkLikeARollback) {
+  // Executor::restoreCheckpoint rebuilds Memory via MemorySnapshot::fork
+  // and re-applies mode + counters; the shadow must ride along so a
+  // pre-checkpoint fault stays detectable after the rewind.
+  Memory m = protectedMemory();
+  ASSERT_EQ(m.store(kBase, backend::MType::I64, 11), MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase, {30}));
+  vm::MemorySnapshot snap = vm::MemorySnapshot::capture(m);
+  Memory f = snap.fork();
+  f.setEccMode(EccMode::Secded);
+  std::uint64_t out = 0;
+  EXPECT_EQ(f.load(kBase, backend::MType::I64, out), MemStatus::Ok);
+  EXPECT_EQ(out, 11u);
+  EXPECT_EQ(f.eccCorrected(), 1u);
+}
+
+TEST(EccMemory, InjectFaultRequiresAMappedPage) {
+  Memory m = protectedMemory();
+  EXPECT_FALSE(m.injectFault(0xdead0000, {0}));
+}
+
+TEST(EccMemory, OffModeNeverMaterializesAShadow) {
+  Memory m;
+  m.map(kBase, Memory::kPageSize);
+  ASSERT_EQ(m.store(kBase, backend::MType::I64, 5), MemStatus::Ok);
+  ASSERT_TRUE(m.injectFault(kBase, {2}));
+  std::uint64_t out = 0;
+  EXPECT_EQ(m.load(kBase, backend::MType::I64, out), MemStatus::Ok);
+  EXPECT_EQ(out, 5u ^ 4u) << "without ECC the flip must land silently";
+  EXPECT_EQ(m.eccCorrected(), 0u);
+  EXPECT_EQ(m.eccUncorrectable(), 0u);
+}
+
+} // namespace
+} // namespace care::test

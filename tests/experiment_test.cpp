@@ -190,7 +190,8 @@ TEST(Experiment, AggregatesAreConsistent) {
                                smallConfig("care_test_artifacts/exp_det"));
   const int total = r.count(Outcome::Benign) + r.count(Outcome::SoftFailure) +
                     r.count(Outcome::SDC) + r.count(Outcome::Hang) +
-                    r.count(Outcome::Detected);
+                    r.count(Outcome::Detected) + r.count(Outcome::RolledBack) +
+                    r.count(Outcome::Corrected);
   EXPECT_EQ(total, static_cast<int>(r.records.size()));
   const auto b = r.latencyBuckets();
   EXPECT_EQ(b[0] + b[1] + b[2] + b[3], r.count(Outcome::SoftFailure));

@@ -227,5 +227,61 @@ TEST(Jit, FiveWorkloadCampaignSerializesIdenticallyToFast) {
   }
 }
 
+// Same acceptance gate for the memory-resident fault models: with faults
+// landing in mapped words (and, in the first leg, SECDED correcting or
+// trapping them), the jit-backend campaign must serialize byte-identical
+// to the fast interpreter. Covers the ECC delegation path (secded) and the
+// native path with silent memory corruption (burst, ECC off).
+TEST(Jit, MemoryFaultCampaignSerializesIdenticallyToFast) {
+  if (!vm::jitAvailable()) GTEST_SKIP() << "no executable mappings";
+  InterpGuard guard;
+  struct Leg {
+    inject::FaultModel fault;
+    vm::EccMode ecc;
+  };
+  for (const Leg leg : {Leg{inject::FaultModel::Mem1, vm::EccMode::Secded},
+                        Leg{inject::FaultModel::Burst, vm::EccMode::Off}}) {
+    inject::ExperimentConfig cfg;
+    cfg.level = opt::OptLevel::O0;
+    cfg.injections = 20;
+    cfg.seed = 99;
+    cfg.fault = leg.fault;
+    cfg.ecc = leg.ecc;
+    const std::string tag = std::string(inject::faultModelName(leg.fault)) +
+                            "/" + vm::eccModeName(leg.ecc);
+
+    cfg.cacheDir = "care_test_artifacts/jit_memfault_fast";
+    std::filesystem::remove_all(cfg.cacheDir);
+    vm::setDefaultInterp(vm::InterpKind::Fast);
+    const inject::ExperimentResult fast =
+        runExperiment(workloads::hpccg(), cfg);
+
+    cfg.cacheDir = "care_test_artifacts/jit_memfault_jit";
+    std::filesystem::remove_all(cfg.cacheDir);
+    vm::setDefaultInterp(vm::InterpKind::Jit);
+    const inject::ExperimentResult jit = runExperiment(workloads::hpccg(), cfg);
+
+    EXPECT_EQ(inject::serializeDeterministic(jit),
+              inject::serializeDeterministic(fast))
+        << tag;
+  }
+}
+
+// --- W^X-unavailable warning (once per process) ------------------------------
+
+TEST(Jit, UnavailableWarningPrintsExactlyOncePerProcess) {
+  // Earlier tests may already have triggered the fallback warning on a
+  // host without executable mappings; whatever the history, the counter
+  // can be 0 or 1 here, the next call emits only if nothing did before,
+  // and after it the count is pinned at 1 forever.
+  const int before = vm::jitUnavailableWarnCount();
+  ASSERT_LE(before, 1);
+  const bool emitted = vm::warnJitUnavailableOnce();
+  EXPECT_EQ(emitted, before == 0);
+  EXPECT_FALSE(vm::warnJitUnavailableOnce());
+  EXPECT_FALSE(vm::warnJitUnavailableOnce());
+  EXPECT_EQ(vm::jitUnavailableWarnCount(), 1);
+}
+
 } // namespace
 } // namespace care::test

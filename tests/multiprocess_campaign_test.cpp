@@ -135,6 +135,86 @@ TEST(MultiprocessCampaign, WorkerKilledMidShardStillCompletesIdentically) {
         << "trial " << i;
 }
 
+TEST(MultiprocessCampaign, WorkerKilledAfterCommitIsNotDoubleCounted) {
+  // The mirror image of the mid-shard kill: the worker dies *after* its
+  // result frame is fully on the pipe but *before* it releases its seat
+  // claim. The coordinator's end-game then sees a dead worker still
+  // claiming a shard that was already committed — the requeue must be
+  // dropped as a duplicate, never re-run or double-counted.
+  const std::string dir = "care_test_artifacts/mp_kill_commit";
+  std::filesystem::remove_all(dir);
+  const auto cfg = baseConfig(dir);
+  inject::BuiltWorkload built =
+      inject::buildWorkload(workloads::gtcp(), cfg);
+  inject::CampaignConfig ccfg;
+  ccfg.seed = cfg.seed;
+  ccfg.bitsToFlip = cfg.bits;
+  ccfg.hangFactor = 4;
+  inject::Campaign campaign(built.image.get(), ccfg);
+  ASSERT_TRUE(campaign.profile());
+
+  inject::ServiceConfig serialSvc;
+  serialSvc.processes = 0;
+  serialSvc.threads = 1;
+  const auto reference =
+      inject::runCampaign(campaign, 48, cfg.seed, 1, &built.artifacts, nullptr,
+                  &serialSvc);
+
+  inject::ServiceConfig killSvc;
+  killSvc.processes = 3;
+  killSvc.threads = 1;
+  killSvc.shardSize = 8;
+  killSvc.testKillAfterCommitTrial = 10; // die holding committed shard 1
+  inject::CampaignTelemetry tel;
+  const auto survived =
+      inject::runCampaign(campaign, 48, cfg.seed, 1, &built.artifacts, &tel,
+                  &killSvc);
+  EXPECT_GE(tel.workerRestarts, 1);
+  // Exact counts: a double-committed shard would inflate the record list
+  // (or corrupt the trial order) before byte comparison even runs.
+  ASSERT_EQ(survived.size(), 48u);
+  ASSERT_EQ(reference.size(), survived.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(inject::serializeDeterministicRecord(reference[i]),
+              inject::serializeDeterministicRecord(survived[i]))
+        << "trial " << i;
+}
+
+TEST(MultiprocessCampaign, EveryFaultModelStaysByteIdenticalAcrossEngines) {
+  // Acceptance criterion for the memory-resident models (DESIGN.md §4i):
+  // under every fault model, with SECDED armed, serial ≡ threaded ≡
+  // multi-process record bytes.
+  for (const inject::FaultModel model :
+       {inject::FaultModel::Mem1, inject::FaultModel::Mem2Adj,
+        inject::FaultModel::Burst}) {
+    const std::string dir = std::string("care_test_artifacts/mp_fault_") +
+                            inject::faultModelName(model);
+    std::filesystem::remove_all(dir);
+    auto cfg = baseConfig(dir);
+    cfg.injections = 24;
+    cfg.fault = model;
+    cfg.ecc = vm::EccMode::Secded;
+    const auto serial = runExperiment(workloads::gtcp(), cfg);
+    std::filesystem::remove_all(dir);
+    auto threadedCfg = cfg;
+    threadedCfg.threads = 3;
+    const auto threaded = runExperiment(workloads::gtcp(), threadedCfg);
+    std::filesystem::remove_all(dir);
+    auto forkedCfg = cfg;
+    forkedCfg.processes = 2;
+    inject::CampaignTelemetry tel;
+    const auto forked = runExperiment(workloads::gtcp(), forkedCfg, &tel);
+    EXPECT_EQ(tel.fault, inject::faultModelName(model));
+    EXPECT_EQ(tel.ecc, "secded");
+    EXPECT_EQ(inject::serializeDeterministic(serial),
+              inject::serializeDeterministic(threaded))
+        << inject::faultModelName(model);
+    EXPECT_EQ(inject::serializeDeterministic(serial),
+              inject::serializeDeterministic(forked))
+        << inject::faultModelName(model);
+  }
+}
+
 TEST(MultiprocessCampaign, ResultStoreComposesWithForkedWorkers) {
   const std::string dir = "care_test_artifacts/mp_store";
   const std::string storeDir = dir + "/store";

@@ -25,6 +25,16 @@ using inject::CampaignConfig;
 using inject::InjectionPoint;
 using inject::InjectionResult;
 
+/// Register-model config pinned against the environment: the CI matrix
+/// runs this suite under CARE_FAULT / CARE_ECC, and the site-table edge
+/// geometry below is a register-model notion.
+CampaignConfig pinnedConfig() {
+  CampaignConfig cfg;
+  cfg.fault = inject::FaultModel::Reg;
+  cfg.ecc = vm::EccMode::Off;
+  return cfg;
+}
+
 /// Every deterministic InjectionResult field. replaySavedInstrs is excluded
 /// by design: it reports how the result was obtained, not what it is.
 void expectSameResult(const InjectionResult& a, const InjectionResult& b) {
@@ -72,7 +82,7 @@ TEST(ReplayCache, BoundaryEdgesMatchFromScratchOnBothInterps) {
        {vm::InterpKind::Fast, vm::InterpKind::Ref, vm::InterpKind::Jit}) {
     vm::setDefaultInterp(interp);
 
-    CampaignConfig offCfg;
+    CampaignConfig offCfg = pinnedConfig();
     offCfg.hangFactor = 4;
     offCfg.checkpointEveryInstrs = 0; // from-scratch reference
     CampaignConfig onCfg = offCfg;
@@ -139,7 +149,7 @@ TEST(ReplayCache, BoundaryEdgesMatchFromScratchOnBothInterps) {
 
 TEST(ReplayCache, TinyIntervalIsClampedToBoundedSegmentCount) {
   ReplayEnv env;
-  CampaignConfig cfg;
+  CampaignConfig cfg = pinnedConfig();
   cfg.checkpointEveryInstrs = 1; // would be thousands of segments unclamped
   Campaign c(env.p.image.get(), cfg);
   ASSERT_TRUE(c.profile());
@@ -157,7 +167,7 @@ TEST(ReplayCache, CareRerunFromCheckpointMatchesFromScratch) {
   std::filesystem::remove_all(bcfg.cacheDir);
   inject::BuiltWorkload built = inject::buildWorkload(workloads::gtcp(), bcfg);
 
-  CampaignConfig offCfg;
+  CampaignConfig offCfg = pinnedConfig();
   offCfg.hangFactor = 4;
   offCfg.checkpointEveryInstrs = 0;
   CampaignConfig onCfg = offCfg;
@@ -209,7 +219,7 @@ TEST(ReplayCache, FiveWorkloadsSerializeBitIdentical) {
   for (const workloads::Workload* w : workloads::allWorkloads()) {
     inject::BuiltWorkload built = inject::buildWorkload(*w, bcfg);
     for (const Combo& combo : combos) {
-      CampaignConfig offCfg;
+      CampaignConfig offCfg = pinnedConfig();
       offCfg.bitsToFlip = combo.bits;
       offCfg.hangFactor = 4;
       offCfg.checkpointEveryInstrs = 0;

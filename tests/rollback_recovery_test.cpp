@@ -202,12 +202,15 @@ CareEnv buildCare(const char* src, const std::string& tag,
 }
 
 /// Campaign config pinned against the environment (CARE_RECOVER /
-/// CARE_ROLLBACK_RING must not perturb these differentials).
+/// CARE_ROLLBACK_RING / CARE_FAULT / CARE_ECC must not perturb these
+/// differentials — findSegv() below hunts register-model SIGSEGVs).
 CampaignConfig pinnedConfig(RecoveryStrategy s) {
   CampaignConfig cfg;
   cfg.hangFactor = 4;
   cfg.recover = s;
   cfg.rollbackRingCap = 8;
+  cfg.fault = inject::FaultModel::Reg;
+  cfg.ecc = vm::EccMode::Off;
   return cfg;
 }
 

@@ -160,6 +160,8 @@ inject::ExperimentConfig campaignConfig(const std::string& dir,
   cfg.cacheDir = dir;
   cfg.armor.detectAuto = false;  // pin: CARE_DETECT must not leak in
   cfg.armor.recoverAuto = false; // pin: CARE_RECOVER must not leak in
+  cfg.fault = inject::FaultModel::Reg; // pin: CARE_FAULT must not leak in
+  cfg.ecc = vm::EccMode::Off;          // pin: CARE_ECC must not leak in
   return cfg;
 }
 
@@ -218,7 +220,12 @@ TEST(Sentinel, ArmedAndDisarmedCampaignsGetDistinctCaches) {
 // fields are all zero under the pinned repair-only strategy, but they
 // shift the byte layout), then again when replaySavedInstrs joined the
 // full-fidelity format (kCacheVersion 10 — only the serialized version
-// word changes in this detector-off, timing-free projection).
+// word changes in this detector-off, timing-free projection), and again
+// at kCacheVersion 11: fault-model/memAddr/ECC-counter fields entered the
+// record layout AND register-fault bit positions are now sampled within
+// the destination operand's width (an i8/i32 store cell draws from 8/32
+// positions instead of a 0..63 draw folded by a modulo), which changes
+// sampled points — not just bytes — for every campaign.
 TEST(Sentinel, DisarmedCampaignBytesMatchPreDetectorGoldens) {
   struct Golden {
     const char* workload;
@@ -226,16 +233,16 @@ TEST(Sentinel, DisarmedCampaignBytesMatchPreDetectorGoldens) {
     const char* md5;
   };
   static const Golden kGoldens[] = {
-      {"HPCCG", "O0", "bd4cba1987dd2432cfaaa85c8b4b60bb"},
-      {"HPCCG", "O1", "b831a86668bf43be432e435eb715f868"},
-      {"CoMD", "O0", "48912d2510f7efc70d44d883cbacf774"},
-      {"CoMD", "O1", "582a60bbdffc45b71e06cc00b8cc85c1"},
-      {"miniFE", "O0", "e10effa543f74d2c348423f566633d31"},
-      {"miniFE", "O1", "59c88b21d161dc61fe51c6728636980a"},
-      {"miniMD", "O0", "7c3bf0b41c51585b6de188913f9d0e95"},
-      {"miniMD", "O1", "87b088a98663071d1fb85a19e4ef99db"},
-      {"GTC-P", "O0", "a18b3170f94a157c0576866f3ed25446"},
-      {"GTC-P", "O1", "896f79f40e782e6ea0cf63256d232ea9"},
+      {"HPCCG", "O0", "3e936c2cc1c299f35426f8477c128499"},
+      {"HPCCG", "O1", "006ef5f7dea9fb839ec5054929b6da3f"},
+      {"CoMD", "O0", "5e0c265cbbd510b9df40744311cac44a"},
+      {"CoMD", "O1", "470e30ddfde8d01ea04a210f25af5bda"},
+      {"miniFE", "O0", "f3eb4b540f5e20a4b51f94240e1507c0"},
+      {"miniFE", "O1", "f5825f65a779091e217efef285c7f370"},
+      {"miniMD", "O0", "136b5300f8bca88050ccd8aa6fb8fbd9"},
+      {"miniMD", "O1", "678f7a1b1e6891e2b22ef73fa85e9e1e"},
+      {"GTC-P", "O0", "02393ddc3e8c3579c23103ef41b86913"},
+      {"GTC-P", "O1", "eccd66204194b682ca2d5d9940c87ee0"},
   };
   const std::string dir = "care_test_artifacts/sentinel_goldens";
   std::filesystem::remove_all(dir);

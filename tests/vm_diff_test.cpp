@@ -21,6 +21,7 @@
 #include <cstring>
 
 #include "sentinel/sentinel.hpp"
+#include "support/md5.hpp"
 #include "support/rng.hpp"
 #include "testutil.hpp"
 #include "workloads/workloads.hpp"
@@ -305,6 +306,99 @@ TEST(InjectionDiff, RegisterCorruptionPlaysOutIdentically) {
   }
   // The sweep should have found at least one hard fault to be meaningful.
   EXPECT_GT(trapped, 0) << "fuzz never produced a trap; widen the sweep";
+}
+
+// --- memory-fault fuzz (DESIGN.md §4i) --------------------------------------
+
+// Digest of the whole mapped address space, page by page in page order.
+std::string memoryDigest(vm::Executor& ex) {
+  Md5 h;
+  std::vector<std::uint8_t> buf(vm::Memory::kPageSize);
+  for (const std::uint64_t pn : ex.memory().pageNumbers()) {
+    EXPECT_TRUE(
+        ex.memory().readBytes(pn * vm::Memory::kPageSize, buf.data(),
+                              buf.size()));
+    h.update(buf.data(), buf.size());
+  }
+  return h.finish().hex();
+}
+
+// Flip bits in a mapped word at a sampled dynamic-instruction time and let
+// the corruption play out under all three backends, with ECC off and with
+// SECDED armed: trap kind, faulting instrCount, registers, output, ECC
+// counters and the full post-run memory image must be pairwise identical.
+// Models rotate across trials: single bit, adjacent pair, 8-bit lane burst.
+TEST(InjectionDiff, MemoryFaultPlaysOutIdenticallyAcrossBackends) {
+  const Workload& w = workloads::hpccg();
+  BuildKeep keep;
+  const auto image = lowerWorkload(w, keep);
+
+  vm::Executor prof(image.get());
+  prof.setBudget(500'000'000);
+  const vm::RunResult golden = runUnder(prof, vm::InterpKind::Ref, w.entry);
+  ASSERT_EQ(golden.status, vm::RunStatus::Done);
+
+  vm::Executor probe(image.get());
+  const std::vector<std::uint64_t> pages = probe.memory().pageNumbers();
+  ASSERT_FALSE(pages.empty());
+
+  Rng rng(0xECC);
+  for (int trial = 0; trial < 9; ++trial) {
+    const std::uint64_t faultAt = 1 + rng.next() % (golden.instrCount - 1);
+    const std::uint64_t page = pages[rng.next() % pages.size()];
+    const std::uint64_t addr =
+        page * vm::Memory::kPageSize + 8 * (rng.next() % 512);
+    std::vector<unsigned> bits;
+    switch (trial % 3) {
+    case 0: // mem1
+      bits = {static_cast<unsigned>(rng.next() % 64)};
+      break;
+    case 1: { // mem2adj
+      const unsigned p = static_cast<unsigned>(rng.next() % 63);
+      bits = {p, p + 1};
+      break;
+    }
+    default: { // burst: one byte lane
+      const unsigned lane = static_cast<unsigned>(rng.next() % 8);
+      for (unsigned b = 0; b < 8; ++b) bits.push_back(8 * lane + b);
+      break;
+    }
+    }
+
+    for (const vm::EccMode mode : {vm::EccMode::Off, vm::EccMode::Secded}) {
+      const std::string tag =
+          "trial " + std::to_string(trial) + " addr=" + std::to_string(addr) +
+          " at=" + std::to_string(faultAt) +
+          " ecc=" + vm::eccModeName(mode);
+      std::array<std::unique_ptr<vm::Executor>, kNumKinds> ex;
+      std::array<vm::RunResult, kNumKinds> res;
+      std::array<std::string, kNumKinds> digest;
+      for (std::size_t k = 0; k < kNumKinds; ++k) {
+        ex[k] = std::make_unique<vm::Executor>(image.get());
+        ex[k]->setInterp(kKinds[k]);
+        ex[k]->memory().setEccMode(mode);
+        ex[k]->setBudget(2 * golden.instrCount);
+        const vm::RunResult stop = ex[k]->runBounded(faultAt, w.entry);
+        ASSERT_EQ(stop.status, vm::RunStatus::BudgetExceeded) << tag;
+        ASSERT_EQ(stop.instrCount, faultAt) << tag;
+        ASSERT_TRUE(ex[k]->memory().injectFault(addr, bits)) << tag;
+        res[k] = vm::runToCompletion(*ex[k], w.entry);
+        digest[k] = memoryDigest(*ex[k]);
+      }
+      for (std::size_t a = 0; a < kNumKinds; ++a)
+        for (std::size_t b = a + 1; b < kNumKinds; ++b) {
+          const std::string t = pairTag(kKinds[a], kKinds[b], tag);
+          expectSameResult(res[a], res[b], t);
+          expectSameMachine(*ex[a], *ex[b], t);
+          EXPECT_EQ(digest[a], digest[b])
+              << t << ": post-fault memory images differ";
+          EXPECT_EQ(ex[a]->memory().eccCorrected(),
+                    ex[b]->memory().eccCorrected()) << t;
+          EXPECT_EQ(ex[a]->memory().eccUncorrectable(),
+                    ex[b]->memory().eccUncorrectable()) << t;
+        }
+    }
+  }
 }
 
 } // namespace

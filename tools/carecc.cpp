@@ -51,6 +51,10 @@ struct Args {
   bool recoverGiven = false; // --recover pins it (CARE_RECOVER ignored)
   core::RecoveryStrategy recover = core::RecoveryStrategy::Repair;
   std::size_t rollbackRing = 0; // 0 = CARE_ROLLBACK_RING or default
+  bool faultGiven = false; // --fault pins it (CARE_FAULT ignored)
+  inject::FaultModel fault = inject::FaultModel::Reg;
+  bool eccGiven = false; // --ecc pins it (CARE_ECC ignored)
+  vm::EccMode ecc = vm::EccMode::Off;
 };
 
 void usage() {
@@ -89,6 +93,13 @@ void usage() {
                "                     overrides CARE_RECOVER\n"
                "  --rollback-ring <n> rollback checkpoint ring capacity\n"
                "                     (default CARE_ROLLBACK_RING or 8)\n"
+               "  --fault=<m>        fault model: reg (destination operand,\n"
+               "                     default), mem1 (one memory bit),\n"
+               "                     mem2adj (two adjacent bits), burst\n"
+               "                     (8-bit lane); overrides CARE_FAULT\n"
+               "  --ecc=<m>          ECC on trial memory: off (default),\n"
+               "                     secded, or secded,crc (scrub cross-\n"
+               "                     check); overrides CARE_ECC\n"
                "  --trace=<file>     write a Chrome trace-event JSON of the\n"
                "                     recovery/campaign phases (%%p expands to\n"
                "                     the PID; CARE_TRACE=<file> does the same\n"
@@ -243,6 +254,8 @@ int cmdInject(const Args& a) {
   ccfg.checkpointEveryInstrs = a.ckptInterval;
   if (a.recoverGiven) ccfg.recover = a.recover; // else: CARE_RECOVER default
   if (a.rollbackRing) ccfg.rollbackRingCap = a.rollbackRing;
+  if (a.faultGiven) ccfg.fault = a.fault; // else: CARE_FAULT default
+  if (a.eccGiven) ccfg.ecc = a.ecc;       // else: CARE_ECC default
   inject::Campaign campaign(&image, ccfg);
   if (!campaign.profile()) {
     std::fprintf(stderr, "program failed its golden run\n");
@@ -291,7 +304,9 @@ int cmdInject(const Args& a) {
         det.cfc ? 1u : 0u,
         det.addr ? 1u : 0u,
         static_cast<std::uint64_t>(ccfg.recover),
-        ccfg.rollbackRingCap};
+        ccfg.rollbackRingCap,
+        static_cast<std::uint64_t>(ccfg.fault),
+        static_cast<std::uint64_t>(ccfg.ecc)};
     h.update(nums, sizeof(nums));
     if (core::strategyRollsBack(ccfg.recover)) {
       const std::uint64_t ck[] = {campaign.checkpointInterval()};
@@ -302,6 +317,8 @@ int cmdInject(const Args& a) {
 
   inject::CampaignTelemetry tel;
   tel.workload = a.file;
+  tel.fault = inject::faultModelName(campaign.faultModel());
+  tel.ecc = vm::eccModeName(campaign.eccMode());
   const auto records = inject::runShardedTrials(
       a.injections, a.seed, svc,
       [&](int i, Rng&) {
@@ -316,7 +333,7 @@ int cmdInject(const Args& a) {
   inject::publishTelemetry(tel);
 
   int benign = 0, sdc = 0, hang = 0, segv = 0, otherSig = 0, detected = 0,
-      recovered = 0, rolledBack = 0;
+      recovered = 0, rolledBack = 0, corrected = 0;
   double recoveryUs = 0;
   for (const inject::InjectionRecord& rec : records) {
     const inject::InjectionResult& r = rec.plain;
@@ -326,6 +343,7 @@ int cmdInject(const Args& a) {
     case inject::Outcome::Hang: ++hang; break;
     case inject::Outcome::Detected: ++detected; break;
     case inject::Outcome::RolledBack: ++rolledBack; break;
+    case inject::Outcome::Corrected: ++corrected; break;
     case inject::Outcome::SoftFailure:
       if (r.signal == vm::TrapKind::SegFault) ++segv;
       else ++otherSig;
@@ -345,8 +363,14 @@ int cmdInject(const Args& a) {
               a.withCare ? " (surviving faults counted as benign/SDC)" : "");
   std::printf("other sig  : %d\n", otherSig);
   if (detected || tel.detected)
-    std::printf("detected   : %d (sentinel, avg latency %.1f instrs)\n",
+    std::printf("detected   : %d (sentinel/ECC, avg latency %.1f instrs)\n",
                 detected, tel.detectLatencyInstrs);
+  if (corrected || tel.eccCorrected || tel.eccUncorrectable)
+    std::printf("corrected  : %d trials (ECC: %llu words corrected, %llu "
+                "uncorrectable)\n",
+                corrected,
+                static_cast<unsigned long long>(tel.eccCorrected),
+                static_cast<unsigned long long>(tel.eccUncorrectable));
   if (a.withCare) {
     std::printf("recovered  : %d (avg %.1f us per recovery)\n", recovered,
                 recovered ? recoveryUs / recovered : 0.0);
@@ -432,6 +456,25 @@ int main(int argc, char** argv) {
     }
     else if (s == "--rollback-ring")
       a.rollbackRing = std::strtoull(next().c_str(), nullptr, 10);
+    else if (s.rfind("--fault=", 0) == 0) {
+      a.faultGiven = true;
+      try {
+        a.fault =
+            inject::parseFaultModel(s.substr(std::strlen("--fault=")));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (s.rfind("--ecc=", 0) == 0) {
+      a.eccGiven = true;
+      try {
+        a.ecc = vm::parseEccMode(s.substr(std::strlen("--ecc=")));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (s.rfind("--trace=", 0) == 0)
       trace::enable(s.substr(std::strlen("--trace=")));
     else if (s == "--trace") trace::enable(next());
