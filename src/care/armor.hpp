@@ -41,6 +41,18 @@ struct ArmorOptions {
   sentinel::DetectOptions resolvedDetect() const {
     return detectAuto ? sentinel::detectFromEnv(detect) : detect;
   }
+  /// Sentinel site-sampling layer (DESIGN.md §4j): arm ~1/rate of the
+  /// detector sites for the given rotation epoch. Rate 1 (the default) is
+  /// byte-identical to unsampled instrumentation. Semantic whenever the
+  /// detectors are armed and rate > 1 (cache key, store key, telemetry).
+  pareto::SampleConfig detectSample;
+  /// When true (the default) CARE_DETECT_SAMPLE, if set, overrides
+  /// `detectSample`; tests and benches pin this to false.
+  bool detectSampleAuto = true;
+  pareto::SampleConfig resolvedDetectSample() const {
+    return detectSampleAuto ? pareto::detectSampleFromEnv(detectSample)
+                            : detectSample;
+  }
   /// Safeguard recovery policy (DESIGN.md §4f). A runtime knob rather than
   /// a compile-time one, but it rides in ArmorOptions so every consumer of
   /// the armor ablation plumbing (experiment cache key, carecc, benches)

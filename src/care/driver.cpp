@@ -53,7 +53,8 @@ CompiledModule careCompile(const std::vector<SourceFile>& sources,
   if (const sentinel::DetectOptions det = opts.armor.resolvedDetect();
       det.any()) {
     const auto tSent0 = Clock::now();
-    out.sentinelStats = sentinel::runSentinel(*out.irMod, det);
+    out.sentinelStats = sentinel::runSentinel(*out.irMod, det,
+                                              opts.armor.resolvedDetectSample());
     ir::verifyOrDie(*out.irMod);
     out.timings.sentinelSec = secSince(tSent0);
   }

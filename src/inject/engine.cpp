@@ -108,6 +108,14 @@ std::string CampaignTelemetry::json() const {
   jsonField(out, "effective_mips", "%.2f,", effectiveMips);
   jsonField(out, "detected", "%d,", detected);
   jsonField(out, "detect_latency_instrs", "%.1f,", detectLatencyInstrs);
+  out += "\"detect_sample\":\"";
+  out += jsonEscape(detectSample);
+  out += "\",";
+  jsonField(out, "sampled_sites", "%d,", sampledSites);
+  jsonField(out, "total_sites", "%d,", totalSites);
+  jsonField(out, "prune_groups", "%d,", pruneGroups);
+  jsonField(out, "prune_weighted_trials", "%d,", pruneWeightedTrials);
+  jsonField(out, "audit_mismatches", "%d,", auditMismatches);
   out += "\"fault\":\"";
   out += jsonEscape(fault);
   out += "\",\"ecc\":\"";
@@ -380,8 +388,118 @@ std::vector<InjectionRecord> runCampaign(
     telemetry->ecc = vm::eccModeName(campaign.eccMode());
   }
   std::vector<InjectionRecord> records =
-      runShardedTrials(injections, seed, *service, trial, telemetry);
+      runCampaignTrials(campaign, points, seed, *service, trial, telemetry);
   if (telemetry) telemetry->ckptCount = campaign.checkpoints().size();
+  return records;
+}
+
+std::vector<InjectionRecord> runCampaignTrials(
+    const Campaign& campaign, const std::vector<InjectionPoint>& points,
+    std::uint64_t seed, const ServiceConfig& service, const TrialFn& trial,
+    CampaignTelemetry* telemetry) {
+  const pareto::PruneOptions prune = campaign.pruneOptions();
+  if (!prune.enabled)
+    return runShardedTrials(static_cast<int>(points.size()), seed, service,
+                            trial, telemetry);
+
+  // --- Equivalence-class pruning (DESIGN.md §4j) -------------------------
+  // Group the pre-derived points by Campaign::pruneKey; the first trial of
+  // each group (in trial order) is its representative. Representative
+  // order is a prefix-stable function of the point sequence, so growing
+  // `injections` extends the representative campaign instead of reshaping
+  // it — the shard result store keeps resuming.
+  std::vector<int> repTrial(points.size());
+  std::vector<int> reps;
+  std::vector<int> repPos(points.size(), -1); // rep trial -> index in reps
+  {
+    std::unordered_map<std::string, int> firstOf;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto [it, fresh] =
+          firstOf.emplace(campaign.pruneKey(points[i]), static_cast<int>(i));
+      repTrial[i] = it->second;
+      if (fresh) {
+        repPos[i] = static_cast<int>(reps.size());
+        reps.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  // Run only the representatives through the unchanged sharded machinery
+  // (serial / threaded / multiprocess / result store all apply); the rep
+  // TrialFn ignores its per-trial RNG just like `trial` does, so the
+  // remap cannot perturb any record.
+  const TrialFn repFn = [&](int j, Rng& r) {
+    return trial(reps[static_cast<std::size_t>(j)], r);
+  };
+  std::vector<InjectionRecord> repRecords = runShardedTrials(
+      static_cast<int>(reps.size()), seed, service, repFn, telemetry);
+
+  // Expand: every member receives a copy of its representative's record
+  // with its own point. For `dup` groups the points are equal too; for
+  // `deadmem` groups every deterministic field is point-independent, so
+  // the expanded stream is byte-identical to the exhaustive campaign's
+  // deterministic projection. Timing fields ride along as copies (the
+  // full-fidelity stream documents the sharing; it was never part of the
+  // determinism guarantee).
+  std::vector<InjectionRecord> records(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    records[i] =
+        repRecords[static_cast<std::size_t>(repPos[static_cast<std::size_t>(
+            repTrial[i])])];
+    records[i].point = points[i];
+  }
+
+  // --prune-audit=K: re-run K deterministically chosen non-representative
+  // members exhaustively and hard-fail on any deterministic-byte
+  // divergence from the expanded copy. A verification knob: it must not
+  // (and cannot) change the records, so it stays out of every cache key.
+  if (prune.auditK > 0) {
+    std::vector<int> members;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (repTrial[i] != static_cast<int>(i))
+        members.push_back(static_cast<int>(i));
+    Rng auditRng = Rng::stream(seed, 0xAD17ull);
+    const std::size_t audits =
+        std::min(static_cast<std::size_t>(prune.auditK), members.size());
+    for (std::size_t k = 0; k < audits; ++k) {
+      // Floyd-style distinct pick: swap the chosen member to the tail.
+      const std::size_t j = auditRng.below(members.size() - k);
+      std::swap(members[j], members[members.size() - 1 - k]);
+      const int i = members[members.size() - 1 - k];
+      Rng trialRng = Rng::stream(seed, static_cast<std::uint64_t>(i));
+      const InjectionRecord fresh = trial(i, trialRng);
+      if (serializeDeterministicRecord(fresh) !=
+          serializeDeterministicRecord(records[static_cast<std::size_t>(i)]))
+        raise("prune audit mismatch: trial " + std::to_string(i) +
+              " (group '" + campaign.pruneKey(fresh.point) +
+              "') diverges from its representative trial " +
+              std::to_string(repTrial[static_cast<std::size_t>(i)]));
+    }
+  }
+
+  if (telemetry) {
+    CampaignTelemetry& t = *telemetry;
+    // Semantic counters re-aggregate over the group-expanded records
+    // (weighted accounting); work/time counters keep the representative
+    // run's honest numbers — the members were never executed.
+    const CampaignTelemetry repRun = t;
+    t.trials = static_cast<int>(records.size());
+    const std::vector<std::uint8_t> noneExecuted(records.size(), 0);
+    aggregateRecordTelemetry(records, &noneExecuted, t);
+    t.simInstrs = repRun.simInstrs;
+    t.replaySavedInstrs = repRun.replaySavedInstrs;
+    t.mips = repRun.mips;
+    t.effectiveMips = repRun.effectiveMips;
+    t.rollbackUs = repRun.rollbackUs;
+    t.recKeyUs = repRun.recKeyUs;
+    t.recLoadUs = repRun.recLoadUs;
+    t.recParamUs = repRun.recParamUs;
+    t.recKernelUs = repRun.recKernelUs;
+    t.recPatchUs = repRun.recPatchUs;
+    t.recTotalUs = repRun.recTotalUs;
+    t.trialsPerSec = t.wallSec > 0 ? t.trials / t.wallSec : 0;
+    t.pruneGroups = static_cast<int>(reps.size());
+    t.pruneWeightedTrials = static_cast<int>(records.size());
+  }
   return records;
 }
 

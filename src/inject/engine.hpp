@@ -87,6 +87,17 @@ struct CampaignTelemetry {
   // instructions. Both zero when detectors are off.
   int detected = 0;
   double detectLatencyInstrs = 0;
+  // Sampled detection + campaign pruning (DESIGN.md §4j). The counters are
+  // always emitted (detect_sample "1", sites 0 when no Sentinel build is
+  // associated, prune_* 0 when pruning is off) so consumers can validate
+  // their presence unconditionally.
+  std::string detectSample = "1"; // resolved --detect-sample, e.g. "16@3"
+  int sampledSites = 0;           // detector sites armed in this build
+  int totalSites = 0;             // detector sites the sampler chose from
+  int pruneGroups = 0;            // representative trials actually run
+  int pruneWeightedTrials = 0;    // trials covered after group expansion
+  int auditMismatches = 0;        // --prune-audit divergences (always 0:
+                                  // a mismatch raises instead of counting)
   // Fault-model / ECC configuration and outcomes (DESIGN.md §4i). The
   // strings record what the campaign ran; the counters are always emitted
   // (zero under --fault=reg / CARE_ECC off) so telemetry consumers can
@@ -191,5 +202,16 @@ std::vector<InjectionRecord> runCampaign(
     int threads,
     const std::map<std::int32_t, core::ModuleArtifacts>* careArtifacts,
     CampaignTelemetry* telemetry, const ServiceConfig* service = nullptr);
+
+/// The trial-execution tail of runCampaign, shared with carecc: shard
+/// `points.size()` trials over `service`, applying equivalence-class
+/// pruning (DESIGN.md §4j) when the campaign's PruneOptions enable it.
+/// `trial` must be a pure function of its index (it must ignore its Rng
+/// parameter and return the record for points[i]) — runCampaign's and
+/// carecc's trial closures both are. Does not set telemetry->ckptCount.
+std::vector<InjectionRecord> runCampaignTrials(
+    const Campaign& campaign, const std::vector<InjectionPoint>& points,
+    std::uint64_t seed, const ServiceConfig& service, const TrialFn& trial,
+    CampaignTelemetry* telemetry);
 
 } // namespace care::inject

@@ -26,13 +26,35 @@ constexpr std::uint32_t kCacheVersion = kExperimentCacheVersion;
 /// detector-off campaigns keep their pre-Sentinel paths and bytes while
 /// armed campaigns can never collide with stale detector-free entries.
 constexpr std::uint64_t kSentinelCacheVersion = 1;
+/// Folded into both keys only when sampling (rate > 1) or pruning is in
+/// effect, so the overwhelmingly common unsampled/unpruned campaigns keep
+/// their pre-pareto paths and store keys byte-for-byte.
+constexpr std::uint64_t kParetoCacheVersion = 1;
+
+void hashParetoBlocks(Md5& h, const sentinel::DetectOptions& det,
+                      const pareto::SampleConfig& sample, bool pruneEnabled) {
+  // Sampling only changes the build when detectors are armed; epoch is
+  // canonicalized mod rate (16@1 and 16@17 arm the same sites).
+  if (det.any() && sample.rate > 1) {
+    const std::uint64_t sm[] = {kParetoCacheVersion, sample.rate,
+                                sample.epoch % sample.rate};
+    h.update("detect-sample");
+    h.update(sm, sizeof(sm));
+  }
+  if (pruneEnabled) {
+    const std::uint64_t pr[] = {kParetoCacheVersion};
+    h.update("prune");
+    h.update(pr, sizeof(pr));
+  }
+}
 
 std::string cachePath(const std::string& workload,
                       const ExperimentConfig& cfg,
                       std::uint64_t ckptInterval,
                       core::RecoveryStrategy recover,
                       std::uint64_t rollbackRingCap, FaultModel fault,
-                      vm::EccMode ecc) {
+                      vm::EccMode ecc, const pareto::SampleConfig& sample,
+                      bool pruneEnabled) {
   // cfg.threads is deliberately absent: the engine guarantees identical
   // records for every worker count, so serial- and parallel-written
   // campaigns share one cache entry. The resolved replay-cache interval is
@@ -61,6 +83,7 @@ std::string cachePath(const std::string& workload,
                                   det.addr ? 1u : 0u};
     h.update(sent, sizeof(sent));
   }
+  hashParetoBlocks(h, cfg.armor.resolvedDetect(), sample, pruneEnabled);
   return cfg.cacheDir + "/exp_" + workload + "_" +
          (cfg.level == opt::OptLevel::O0 ? "O0" : "O1") + "_" +
          h.finish().hex().substr(0, 12) + ".camp";
@@ -78,7 +101,8 @@ std::string storeKeyBase(const std::string& workload,
                          std::uint64_t ckptInterval,
                          core::RecoveryStrategy recover,
                          std::uint64_t rollbackRingCap, FaultModel fault,
-                         vm::EccMode ecc) {
+                         vm::EccMode ecc, const pareto::SampleConfig& sample,
+                         bool pruneEnabled) {
   Md5 h;
   h.update("care-experiment-shards");
   h.update(workload);
@@ -105,6 +129,7 @@ std::string storeKeyBase(const std::string& workload,
                                   det.addr ? 1u : 0u};
     h.update(sent, sizeof(sent));
   }
+  hashParetoBlocks(h, cfg.armor.resolvedDetect(), sample, pruneEnabled);
   return h.finish().hex();
 }
 
@@ -394,7 +419,14 @@ BuiltWorkload buildWorkload(const workloads::Workload& w,
       (cfg.armor.maximalSlicing ? "_max" : "") +
       (cfg.armor.requireNonLocalUse ? "" : "_nlu0") +
       (det.cfc ? "_dc" : "") + (det.addr ? "_da" : "");
-  b.cm = core::careCompile(w.sources, tag, copts);
+  std::string sampleTag;
+  if (const pareto::SampleConfig sample = cfg.armor.resolvedDetectSample();
+      det.any() && sample.rate > 1) {
+    sampleTag = "_s" + std::to_string(sample.rate);
+    if (sample.epoch % sample.rate)
+      sampleTag += "e" + std::to_string(sample.epoch % sample.rate);
+  }
+  b.cm = core::careCompile(w.sources, tag + sampleTag, copts);
   b.image = std::make_unique<vm::Image>();
   b.image->load(b.cm.mmod.get());
   b.image->link();
@@ -443,12 +475,19 @@ ExperimentResult runExperiment(const workloads::Workload& w,
       cfg.fault ? *cfg.fault : faultModelFromEnv(FaultModel::Reg);
   const vm::EccMode ecc =
       cfg.ecc ? *cfg.ecc : vm::eccModeFromEnv(vm::EccMode::Off);
+  // Pareto knobs (DESIGN.md §4j): both semantic, both resolved here so the
+  // env values in effect land in the keys.
+  const pareto::SampleConfig sample = cfg.armor.resolvedDetectSample();
+  const pareto::PruneOptions prune =
+      cfg.prune ? *cfg.prune : pareto::pruneOptionsFromEnv({});
 
   std::filesystem::create_directories(cfg.cacheDir);
-  const std::string path =
-      cachePath(w.name, cfg, ckptInterval, recover, ringCap, fault, ecc);
+  const std::string path = cachePath(w.name, cfg, ckptInterval, recover,
+                                     ringCap, fault, ecc, sample,
+                                     prune.enabled);
   tel.fault = faultModelName(fault);
   tel.ecc = vm::eccModeName(ecc);
+  tel.detectSample = pareto::sampleName(sample);
   const auto t0 = std::chrono::steady_clock::now();
   if (auto cached = readResult(path)) {
     tel.fromCache = true;
@@ -461,6 +500,8 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   }
 
   BuiltWorkload built = buildWorkload(w, cfg);
+  tel.totalSites = static_cast<int>(built.cm.sentinelStats.totalSites());
+  tel.sampledSites = static_cast<int>(built.cm.sentinelStats.armedSites());
   CampaignConfig ccfg;
   ccfg.seed = cfg.seed;
   ccfg.bitsToFlip = cfg.bits;
@@ -470,6 +511,7 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   ccfg.rollbackRingCap = ringCap;
   ccfg.fault = fault;
   ccfg.ecc = ecc;
+  ccfg.prune = prune;
   if (cfg.patchBaseFirst)
     ccfg.patchTarget = core::Safeguard::PatchTarget::BaseFirst;
   Campaign campaign(built.image.get(), ccfg);
@@ -480,8 +522,8 @@ ExperimentResult runExperiment(const workloads::Workload& w,
   svc.threads = cfg.threads;
   svc.storeDir = cfg.resultStore ? *cfg.resultStore : resultStoreDirFromEnv();
   if (!svc.storeDir.empty())
-    svc.storeKey =
-        storeKeyBase(w.name, cfg, ckptInterval, recover, ringCap, fault, ecc);
+    svc.storeKey = storeKeyBase(w.name, cfg, ckptInterval, recover, ringCap,
+                                fault, ecc, sample, prune.enabled);
 
   ExperimentResult out;
   out.workload = w.name;

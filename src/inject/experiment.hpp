@@ -63,6 +63,13 @@ struct ExperimentConfig {
   /// ECC protection on trial executors: nullopt resolves CARE_ECC (off
   /// when unset). Semantic (changes outcomes), part of both cache keys.
   std::optional<vm::EccMode> ecc;
+  /// Equivalence-class campaign pruning (DESIGN.md §4j): nullopt resolves
+  /// CARE_PRUNE / CARE_PRUNE_AUDIT. The group-expanded records are
+  /// deterministically byte-identical to the exhaustive campaign's, but the
+  /// cached full-fidelity stream shares timings within a group, so the
+  /// *enabled* bit joins both cache keys (auditK, a pure verification knob,
+  /// does not).
+  std::optional<pareto::PruneOptions> prune;
 };
 
 /// One injection's record: the plain outcome plus (for SIGSEGV injections

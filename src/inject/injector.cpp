@@ -199,7 +199,39 @@ bool Campaign::profile() {
     rb = goldenInstrs_ / kMaxCheckpoints + 1;
   if (rb == 0) rb = goldenInstrs_ + 1; // entry checkpoint only
   rollbackInterval_ = rb;
+
+  // Pruning support (DESIGN.md §4j): the deadmem class needs a per-word
+  // last-access bound, built from one traced golden run. Register-model
+  // campaigns degenerate to dup-only grouping and skip the trace.
+  if (cfg_.prune.enabled && cfg_.fault != FaultModel::Reg) {
+    trace::Span lifeSpan("campaign.memory_life", "campaign");
+    memLife_ = std::make_unique<pareto::MemoryLife>();
+    memLife_->build(image_, baseMem_, cfg_.entry, goldenInstrs_);
+  }
   return true;
+}
+
+std::string Campaign::pruneKey(const InjectionPoint& pt) const {
+  std::string key;
+  // deadmem: a memory fault whose word is provably never accessed at or
+  // after the strike. The run completes on the golden path and every
+  // deterministic field is a function of (model, ECC, bit pattern): the
+  // pattern decides the SECDED scrub verdict, so it stays in the key
+  // whenever ECC is armed (under ECC-off the flip is entirely inert).
+  if (pt.model != FaultModel::Reg && memLife_ &&
+      memLife_->deadAfter(pt.memAddr, pt.nth)) {
+    key = "deadmem";
+    if (cfg_.ecc != vm::EccMode::Off)
+      for (unsigned b : pt.bits) key += "." + std::to_string(b);
+    return key;
+  }
+  // dup: the identical experiment. Collisions are textual equality only.
+  key = "dup.m" + std::to_string(static_cast<unsigned>(pt.model)) + "." +
+        std::to_string(pt.loc.module) + "." + std::to_string(pt.loc.func) +
+        "." + std::to_string(pt.loc.instr) + "@" + std::to_string(pt.nth) +
+        "+" + std::to_string(pt.memAddr);
+  for (unsigned b : pt.bits) key += "." + std::to_string(b);
+  return key;
 }
 
 void Campaign::buildCheckpoints() {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "care/safeguard.hpp"
+#include "pareto/prune.hpp"
 #include "support/rng.hpp"
 #include "vm/checkpoint_ring.hpp"
 #include "vm/executor.hpp"
@@ -149,6 +150,14 @@ struct CampaignConfig {
   /// run, which is fault-free either way); default resolves CARE_ECC.
   /// Semantic: participates in the experiment cache key.
   vm::EccMode ecc = vm::eccModeFromEnv(vm::EccMode::Off);
+  /// Equivalence-class campaign pruning (DESIGN.md §4j): group provably
+  /// identical trials and run one representative per group, expanding its
+  /// result to every member. The group-expanded deterministic records are
+  /// byte-identical to the exhaustive campaign; `enabled` still joins the
+  /// cache/store keys (a pruned store shard holds representative trials,
+  /// and full-fidelity timings differ). Default resolves CARE_PRUNE /
+  /// CARE_PRUNE_AUDIT.
+  pareto::PruneOptions prune = pareto::pruneOptionsFromEnv({});
 };
 
 /// CARE_CKPT_INTERVAL parsed as a decimal instruction count, or `fallback`
@@ -171,6 +180,16 @@ public:
   }
   FaultModel faultModel() const { return cfg_.fault; }
   vm::EccMode eccMode() const { return cfg_.ecc; }
+  const pareto::PruneOptions& pruneOptions() const { return cfg_.prune; }
+
+  /// Equivalence-class key for campaign pruning (DESIGN.md §4j): two
+  /// points with equal keys provably produce identical deterministic
+  /// records, so the engine may run one and copy the record to the other.
+  /// Classes: `dup` (identical point) and, for memory models, `deadmem`
+  /// (the struck word has no access at or after the strike time in the
+  /// traced golden run — the flip is never observed and the outcome is a
+  /// pure function of model/ECC/bit pattern). Valid after profile().
+  std::string pruneKey(const InjectionPoint& pt) const;
 
   /// One golden-run segment boundary of the replay cache: the full machine
   /// state at that boundary plus, for every injectable site, how many
@@ -241,6 +260,9 @@ private:
   // dynamic instructions (DESIGN.md §4c).
   std::uint64_t ckptInterval_ = 0;
   std::vector<TrialCheckpoint> checkpoints_;
+  // Dead-after-t word table for pruning (DESIGN.md §4j); built by
+  // profile() only when pruning is on and the model is memory-resident.
+  std::unique_ptr<pareto::MemoryLife> memLife_;
   // Rollback-ring boundary spacing for rollback-strategy trials (DESIGN.md
   // §4f). Derived from env/goldenInstrs only — *not* from
   // checkpointEveryInstrs — so the replay cache stays a pure performance

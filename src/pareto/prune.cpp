@@ -1,0 +1,64 @@
+#include "pareto/prune.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace care::pareto {
+
+bool parsePruneFlag(const std::string& s) {
+  if (s == "on" || s == "1" || s == "true") return true;
+  if (s == "off" || s == "0" || s == "false") return false;
+  raise("unknown prune setting '" + s + "' (expected on, off, 1 or 0)");
+}
+
+int parsePruneAudit(const std::string& s) {
+  if (!s.empty() && s.size() <= 9) {
+    int v = 0;
+    bool ok = true;
+    for (char c : s) {
+      if (c < '0' || c > '9') { ok = false; break; }
+      v = v * 10 + (c - '0');
+    }
+    if (ok) return v;
+  }
+  raise("unknown prune-audit count '" + s +
+        "' (expected a non-negative integer, e.g. 0 or 8)");
+}
+
+PruneOptions pruneOptionsFromEnv(const PruneOptions& fallback) {
+  PruneOptions o = fallback;
+  if (const char* s = std::getenv("CARE_PRUNE"); s && *s)
+    o.enabled = parsePruneFlag(s);
+  if (const char* s = std::getenv("CARE_PRUNE_AUDIT"); s && *s)
+    o.auditK = parsePruneAudit(s);
+  return o;
+}
+
+void MemoryLife::build(const vm::Image* image,
+                       const vm::MemorySnapshot& initialMem,
+                       const std::string& entry, std::uint64_t goldenInstrs,
+                       std::uint64_t segments) {
+  lastAccessEnd_.clear();
+  if (goldenInstrs == 0) return;
+  if (segments == 0) segments = 1;
+  vm::Executor ex(image, initialMem);
+  ex.setBudget(goldenInstrs + 1);
+  std::vector<std::uint64_t> sink;
+  ex.memory().setAccessTrace(&sink);
+  for (std::uint64_t k = 1; k <= segments; ++k) {
+    // Ceiling-partition the run so the last boundary is exactly the end.
+    const std::uint64_t stop = goldenInstrs * k / segments;
+    if (stop <= ex.instrCount() && k < segments) continue;
+    const vm::RunResult r = ex.runBounded(stop, entry);
+    for (std::uint64_t w : sink) {
+      auto [it, fresh] = lastAccessEnd_.emplace(w, stop);
+      if (!fresh && it->second < stop) it->second = stop;
+    }
+    sink.clear();
+    if (r.status != vm::RunStatus::BudgetExceeded) break; // run completed
+  }
+  ex.memory().setAccessTrace(nullptr);
+}
+
+} // namespace care::pareto

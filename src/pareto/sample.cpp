@@ -1,0 +1,82 @@
+#include "pareto/sample.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace care::pareto {
+
+namespace {
+
+[[noreturn]] void badSample(const std::string& s) {
+  raise("unknown detect-sample '" + s +
+        "' (expected a rate N >= 1, optionally with a rotation epoch as "
+        "N@E, e.g. 1, 16 or 16@3)");
+}
+
+/// Strict non-negative integer parse; returns false on any non-digit.
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// splitmix64 finalizer: spreads the structured site hash uniformly so
+/// `% rate` slots are balanced even for small, correlated inputs.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+} // namespace
+
+SampleConfig parseDetectSample(const std::string& s) {
+  SampleConfig cfg;
+  const std::size_t at = s.find('@');
+  const std::string rateStr = at == std::string::npos ? s : s.substr(0, at);
+  if (!parseU64(rateStr, cfg.rate) || cfg.rate == 0) badSample(s);
+  if (at != std::string::npos) {
+    if (!parseU64(s.substr(at + 1), cfg.epoch)) badSample(s);
+  }
+  return cfg;
+}
+
+SampleConfig detectSampleFromEnv(const SampleConfig& fallback) {
+  const char* s = std::getenv("CARE_DETECT_SAMPLE");
+  if (!s || !*s) return fallback;
+  return parseDetectSample(s);
+}
+
+std::string sampleName(const SampleConfig& cfg) {
+  std::string n = std::to_string(cfg.rate);
+  if (cfg.epoch != 0) n += "@" + std::to_string(cfg.epoch);
+  return n;
+}
+
+std::uint64_t siteHash(const std::string& unit, const char* kind,
+                       std::uint64_t ordinal) {
+  // FNV-1a over the unit name and kind, then fold in the ordinal. The
+  // final splitmix64 mix happens in armed() so the raw hash stays a
+  // stable, debuggable site identity.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* p = unit.c_str(); *p; ++p)
+    h = (h ^ static_cast<std::uint8_t>(*p)) * 0x100000001b3ull;
+  for (const char* p = kind; *p; ++p)
+    h = (h ^ static_cast<std::uint8_t>(*p)) * 0x100000001b3ull;
+  h ^= ordinal + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+bool armed(const SampleConfig& cfg, std::uint64_t hash) {
+  if (cfg.rate <= 1) return true;
+  return mix(hash) % cfg.rate == cfg.epoch % cfg.rate;
+}
+
+} // namespace care::pareto

@@ -58,8 +58,8 @@ namespace {
 class FunctionInstrumenter {
 public:
   FunctionInstrumenter(Module& m, Function& f, const DetectOptions& opts,
-                       Function* trapFn)
-      : m_(m), f_(f), opts_(opts), trapFn_(trapFn) {}
+                       const pareto::SampleConfig& sample, Function* trapFn)
+      : m_(m), f_(f), opts_(opts), sample_(sample), trapFn_(trapFn) {}
 
   FunctionSentinelStats run() {
     stats_.function = f_.name();
@@ -179,6 +179,14 @@ private:
       const analysis::AddressSlice slice =
           analysis::extractAddressSlice(access, live, so);
       if (slice.stmts.empty()) continue; // address is itself a terminal
+      // Sampling site: the ordinal counts protectable accesses in the
+      // original function's iteration order — the pre-instrumentation
+      // module is identical across epochs, so site identity (and thus the
+      // epoch partition) is stable across differently-sampled builds.
+      const std::uint64_t site =
+          pareto::siteHash(f_.name(), "addr", stats_.addrSites++);
+      if (!pareto::armed(sample_, site)) continue;
+      stats_.addrArmed++;
       instrumentAccess(access, slice);
     }
   }
@@ -289,6 +297,13 @@ private:
     // A branch back into the entry block would leave nowhere to seed the
     // signature; MiniC never produces that shape, but stay safe.
     if (!f_.entry()->predecessors().empty()) return;
+    // Sampling site: the whole function. A partially-instrumented
+    // signature scheme is unsound (un-updated blocks would trip the next
+    // check), so CFC arms per function rather than per check.
+    stats_.cfcSites++;
+    if (!pareto::armed(sample_, pareto::siteHash(f_.name(), "cfc", 0)))
+      return;
+    stats_.cfcArmed++;
     splitCriticalEdges();
 
     // Compile-time signatures: position + 1, so all are distinct and
@@ -411,6 +426,7 @@ private:
   Module& m_;
   Function& f_;
   const DetectOptions& opts_;
+  pareto::SampleConfig sample_;
   Function* trapFn_;
   BasicBlock* trapBB_ = nullptr;
   FunctionSentinelStats stats_;
@@ -420,16 +436,20 @@ private:
 
 } // namespace
 
-SentinelStats runSentinel(Module& m, const DetectOptions& opts) {
+SentinelStats runSentinel(Module& m, const DetectOptions& opts,
+                          const pareto::SampleConfig& sample) {
   SentinelStats stats;
   if (!opts.any()) return stats;
   Function* trapFn = m.findFunction(kTrapFnName);
   if (!trapFn) trapFn = m.addFunction(kTrapFnName, Type::voidTy(), {});
   for (Function* f : m) {
     if (f->isDeclaration()) continue;
-    FunctionInstrumenter fi(m, *f, opts, trapFn);
+    FunctionInstrumenter fi(m, *f, opts, sample, trapFn);
     FunctionSentinelStats fs = fi.run();
-    if (fs.addedInstrs) stats.functions.push_back(std::move(fs));
+    // Keep the stats entry when the function has sites even if sampling
+    // armed none of them — total_sites must not depend on the epoch.
+    if (fs.addedInstrs || fs.cfcSites || fs.addrSites)
+      stats.functions.push_back(std::move(fs));
   }
   return stats;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "ir/module.hpp"
+#include "pareto/sample.hpp"
 
 namespace care::sentinel {
 
@@ -64,6 +65,14 @@ struct FunctionSentinelStats {
   std::size_t shadowChains = 0;    // ADDR: protected accesses
   std::size_t shadowInstrs = 0;    // ADDR: cloned address instructions
   std::size_t addedInstrs = 0;     // all instructions this pass inserted
+  // Sampling-layer site accounting (DESIGN.md §4j). A "site" is a unit the
+  // sampler can arm independently: the whole function for CFC (signature
+  // schemes need every block participating), one protectable access for
+  // ADDR. Unsampled builds arm every site, so armed == total there.
+  std::size_t cfcSites = 0;        // 0 or 1: function is CFC-protectable
+  std::size_t cfcArmed = 0;        // CFC actually instrumented here
+  std::size_t addrSites = 0;       // accesses with a duplicable chain
+  std::size_t addrArmed = 0;       // accesses actually instrumented
 };
 
 struct SentinelStats {
@@ -74,6 +83,14 @@ struct SentinelStats {
   std::size_t shadowChains() const { return sum(&FunctionSentinelStats::shadowChains); }
   std::size_t shadowInstrs() const { return sum(&FunctionSentinelStats::shadowInstrs); }
   std::size_t addedInstrs() const { return sum(&FunctionSentinelStats::addedInstrs); }
+  std::size_t totalSites() const {
+    return sum(&FunctionSentinelStats::cfcSites) +
+           sum(&FunctionSentinelStats::addrSites);
+  }
+  std::size_t armedSites() const {
+    return sum(&FunctionSentinelStats::cfcArmed) +
+           sum(&FunctionSentinelStats::addrArmed);
+  }
 
 private:
   std::size_t sum(std::size_t FunctionSentinelStats::* field) const {
@@ -89,6 +106,14 @@ private:
 /// Must run after optimization and after Armor (Sentinel adds code, never
 /// renames, so Armor's recovery-table name linkage is preserved), and
 /// before instruction selection.
-SentinelStats runSentinel(ir::Module& m, const DetectOptions& opts);
+///
+/// `sample` is the pareto site-sampling layer (DESIGN.md §4j): with the
+/// default rate-1 config every site is armed and the output is
+/// byte-identical to the pre-sampling pass; with rate N only the sites
+/// whose slot matches the epoch are instrumented — unarmed sites cost
+/// nothing and detect nothing, and the armed sets of N consecutive epochs
+/// partition the full site population.
+SentinelStats runSentinel(ir::Module& m, const DetectOptions& opts,
+                          const pareto::SampleConfig& sample = {});
 
 } // namespace care::sentinel

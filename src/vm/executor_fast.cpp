@@ -74,8 +74,11 @@ RunResult Executor::runFastImpl(bool* switchVariant) {
   // path the reference loop always takes, so trap semantics match by
   // construction. The inline TLB fast paths below stay untouched for the
   // common unprotected case; the mode cannot change mid-run (hooks and
-  // restoreCheckpoint preserve it), so one local suffices.
-  const bool eccOn = mem_.eccEnabled();
+  // restoreCheckpoint preserve it), so one local suffices. Access tracing
+  // (pareto::MemoryLife) rides the same detour: the typed accessors are
+  // where the trace hook lives, and with ECC off they are otherwise
+  // semantically identical to the inline paths.
+  const bool eccOn = mem_.eccEnabled() || mem_.accessTraceActive();
 
   std::int32_t m = curModule_, fi = curFunc_;
   std::uint64_t ic = instrCount_;

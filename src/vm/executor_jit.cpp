@@ -37,7 +37,9 @@ RunResult Executor::runJit() {
   // Profiling counts, nth-execution injection watchpoints and ECC-armed
   // memory need per-access checks the emitted templates don't carry; the
   // fast interpreter provides them with identical results.
-  if (profiling_ || injArmed_ || mem_.eccEnabled()) return runFast();
+  if (profiling_ || injArmed_ || mem_.eccEnabled() ||
+      mem_.accessTraceActive())
+    return runFast();
 
   JitImage& jimg = image_->jit();
   if (!jimg.usable()) {
@@ -68,7 +70,9 @@ RunResult Executor::runJit() {
     }
     // A trap hook may have armed instrumentation mid-run; hand the rest of
     // the run over, like the plain fast-loop variant does.
-    if (profiling_ || injArmed_ || mem_.eccEnabled()) return runFast();
+    if (profiling_ || injArmed_ || mem_.eccEnabled() ||
+        mem_.accessTraceActive())
+      return runFast();
 
     const void* entry =
         jimg.entryFor(curModule_, curFunc_, curInstr_, instrCount_, stop);

@@ -123,6 +123,7 @@ MemStatus Memory::load(std::uint64_t addr, MType type,
   }
   const std::uint8_t* page = readPage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
+  if (traceSink_) traceSink_->push_back(addr & ~7ull);
   const std::uint64_t off = addr % kPageSize; // size-aligned: no page split
   std::uint64_t raw = 0;
   std::memcpy(&raw, page + off, size);
@@ -147,6 +148,7 @@ MemStatus Memory::loadF(std::uint64_t addr, MType type, double& out) const {
   }
   const std::uint8_t* page = readPage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
+  if (traceSink_) traceSink_->push_back(addr & ~7ull);
   const std::uint64_t off = addr % kPageSize;
   if (type == MType::F32) {
     float f;
@@ -169,6 +171,7 @@ MemStatus Memory::store(std::uint64_t addr, MType type, std::uint64_t v) {
   }
   std::uint8_t* page = writePage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
+  if (traceSink_) traceSink_->push_back(addr & ~7ull);
   std::memcpy(page + addr % kPageSize, &v, size);
   if (eccActive()) eccEncodeWord(addr & ~7ull);
   return MemStatus::Ok;
@@ -183,6 +186,7 @@ MemStatus Memory::storeF(std::uint64_t addr, MType type, double v) {
   }
   std::uint8_t* page = writePage(addr / kPageSize);
   if (!page) return MemStatus::Unmapped;
+  if (traceSink_) traceSink_->push_back(addr & ~7ull);
   if (type == MType::F32) {
     const float f = static_cast<float>(v);
     std::memcpy(page + addr % kPageSize, &f, 4);

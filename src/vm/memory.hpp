@@ -95,6 +95,18 @@ public:
     eccUncorrectable_ = uncorrectable;
   }
 
+  /// --- Access trace (pareto pruning, DESIGN.md §4j) -------------------
+  ///
+  /// While a sink is armed, every typed access appends the aligned 64-bit
+  /// word address it touches (accesses are naturally aligned, so a typed
+  /// access touches exactly one word). The interpreter loops funnel all
+  /// program accesses through the typed accessors; the JIT driver defers
+  /// to them while a trace is armed (executor_jit.cpp), so traced runs see
+  /// the complete access stream on every backend. The caller owns the
+  /// sink and drains it between runBounded() legs for time-bounded tables.
+  void setAccessTrace(std::vector<std::uint64_t>* sink) { traceSink_ = sink; }
+  bool accessTraceActive() const { return traceSink_ != nullptr; }
+
   /// Flip `bits` (positions 0..63) in the aligned 64-bit word containing
   /// `addr`, bypassing ECC maintenance — this is the soft fault. When ECC
   /// is armed the page's shadow is materialized from the pre-fault
@@ -199,6 +211,9 @@ private:
   std::uint64_t eccUncorrectable_ = 0;
   EccPageMap eccPages_;
   EccCrcMap eccWordCrc_;
+  /// Armed by setAccessTrace(); mutable so const loads can record. Not
+  /// moved with the address space — a trace belongs to one executor's run.
+  mutable std::vector<std::uint64_t>* traceSink_ = nullptr;
 };
 
 /// An immutable, shareable image of an address space. capture() shares the

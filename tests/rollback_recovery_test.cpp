@@ -16,6 +16,7 @@
 
 #include <filesystem>
 
+#include "backend/mir.hpp"
 #include "care/driver.hpp"
 #include "inject/engine.hpp"
 #include "inject/experiment.hpp"
@@ -402,6 +403,72 @@ TEST(RollbackRecovery, RollbackRerunSkipsReplayFastForward) {
     EXPECT_GT(roll.runInjection(pt).replaySavedInstrs, 0u);
   }
   EXPECT_TRUE(found) << "no fast-forwarded CARE re-run to compare";
+}
+
+TEST(RollbackRecovery, EccUncorrectableTriggersRollbackRecovery) {
+  // DUE-triggered recovery (DESIGN.md §4i + §4f): an adjacent double-bit
+  // memory fault under SECDED surfaces as an EccUncorrectable trap
+  // (Outcome::Detected). Kernel repair is meaningless for it — the data is
+  // gone — but a rollback strategy rewinds past the strike, and the fault
+  // is transient, so the re-execution completes on the golden path.
+  CareEnv e = buildCare(kGridProg, "due");
+  // Target &grid[400]: read at i=100 in every step's inner loop, so a
+  // mid-run strike is always observed by a later load (random sampling
+  // almost never hits a live word — the stack dominates the mapped pages).
+  const auto& lm = e.image->module(0);
+  std::uint64_t gridAddr = 0;
+  for (const backend::MInst& in : lm.mod->functions[0].code)
+    if (in.op == backend::MOp::Store && in.mem.globalIdx >= 0) {
+      gridAddr = lm.globalAddr[static_cast<std::size_t>(in.mem.globalIdx)];
+      break;
+    }
+  ASSERT_NE(gridAddr, 0u);
+
+  CampaignConfig cfg = pinnedConfig(RecoveryStrategy::Rollback);
+  cfg.fault = inject::FaultModel::Mem2Adj;
+  cfg.ecc = vm::EccMode::Secded;
+  Campaign roll(e.image.get(), cfg);
+  ASSERT_TRUE(roll.profile());
+  CampaignConfig repairCfg = pinnedConfig(RecoveryStrategy::Repair);
+  repairCfg.fault = inject::FaultModel::Mem2Adj;
+  repairCfg.ecc = vm::EccMode::Secded;
+  Campaign repair(e.image.get(), repairCfg);
+  ASSERT_TRUE(repair.profile());
+
+  int dues = 0, recovered = 0;
+  for (std::uint64_t frac : {4u, 2u}) {
+    InjectionPoint pt;
+    pt.model = inject::FaultModel::Mem2Adj;
+    pt.nth = roll.goldenInstrs() / frac;
+    pt.memAddr = gridAddr + 8 * 400;
+    pt.bits = {4, 5};
+    const InjectionResult plain = roll.runInjection(pt);
+    ASSERT_TRUE(plain.injected);
+    if (plain.outcome != Outcome::Detected ||
+        plain.signal != vm::TrapKind::EccUncorrectable)
+      continue;
+    ++dues;
+    // Repair-only strategies must propagate the DUE untouched: kernel
+    // repair is meaningless when the data itself is gone.
+    const InjectionResult rep = repair.runInjection(pt, &e.artifacts);
+    EXPECT_EQ(rep.outcome, Outcome::Detected);
+    EXPECT_EQ(rep.signal, vm::TrapKind::EccUncorrectable);
+    EXPECT_EQ(rep.rollbacks, 0u);
+    EXPECT_FALSE(rep.careRecovered);
+    // The rollback strategy turns it into a survival: the fault is
+    // transient, so rewinding past the strike genuinely erases it.
+    const InjectionResult r = roll.runInjection(pt, &e.artifacts);
+    EXPECT_TRUE(r.survived);
+    if (!r.survived) continue;
+    EXPECT_EQ(r.outcome, Outcome::RolledBack);
+    EXPECT_GT(r.rollbacks, 0u);
+    if (r.careRecovered) {
+      EXPECT_TRUE(r.outputMatchesGolden);
+      ++recovered;
+    }
+  }
+  EXPECT_GT(dues, 0) << "no EccUncorrectable detection found to recover";
+  EXPECT_GT(recovered, 0) << "no DUE recovered via rollback";
 }
 
 TEST(RollbackRecovery, EscapedOutputIsSdcNotRecovery) {

@@ -21,6 +21,8 @@
 #include "inject/experiment.hpp"
 #include "ir/printer.hpp"
 #include "ir/serialize.hpp"
+#include "pareto/prune.hpp"
+#include "pareto/sample.hpp"
 #include "sentinel/sentinel.hpp"
 #include "support/md5.hpp"
 #include "support/rng.hpp"
@@ -55,6 +57,12 @@ struct Args {
   inject::FaultModel fault = inject::FaultModel::Reg;
   bool eccGiven = false; // --ecc pins it (CARE_ECC ignored)
   vm::EccMode ecc = vm::EccMode::Off;
+  bool sampleGiven = false; // --detect-sample pins it
+  pareto::SampleConfig sample;
+  bool pruneGiven = false; // --prune pins it (CARE_PRUNE ignored)
+  bool prune = false;
+  bool pruneAuditGiven = false; // --prune-audit pins it
+  int pruneAudit = 0;
 };
 
 void usage() {
@@ -88,6 +96,18 @@ void usage() {
                "                     cfc (control-flow signatures) and addr\n"
                "                     (address-chain duplication), or all /\n"
                "                     none; overrides CARE_DETECT\n"
+               "  --detect-sample=<r> sample detector sites at rate 1/r,\n"
+               "                     optionally with a rotation epoch as\n"
+               "                     r@e (1 = every site, the default);\n"
+               "                     overrides CARE_DETECT_SAMPLE\n"
+               "  --prune=<on|off>   prune the campaign to one trial per\n"
+               "                     provable equivalence class, expanding\n"
+               "                     the records afterwards (identical\n"
+               "                     outcome counts); overrides CARE_PRUNE\n"
+               "  --prune-audit=<k>  re-run k pruned trials exhaustively and\n"
+               "                     fail on any divergence from their\n"
+               "                     representative; overrides\n"
+               "                     CARE_PRUNE_AUDIT\n"
                "  --recover=<s>      Safeguard policy: repair (default),\n"
                "                     rollback, repair_then_rollback, none;\n"
                "                     overrides CARE_RECOVER\n"
@@ -122,6 +142,10 @@ core::CompiledModule compileFile(const Args& a) {
   if (a.detectGiven) {
     opts.armor.detect = a.detect;
     opts.armor.detectAuto = false;
+  }
+  if (a.sampleGiven) {
+    opts.armor.detectSample = a.sample;
+    opts.armor.detectSampleAuto = false;
   }
   return core::careCompile({{a.file, slurp(a.file)}}, "app", opts);
 }
@@ -256,6 +280,8 @@ int cmdInject(const Args& a) {
   if (a.rollbackRing) ccfg.rollbackRingCap = a.rollbackRing;
   if (a.faultGiven) ccfg.fault = a.fault; // else: CARE_FAULT default
   if (a.eccGiven) ccfg.ecc = a.ecc;       // else: CARE_ECC default
+  if (a.pruneGiven) ccfg.prune.enabled = a.prune; // else: CARE_PRUNE default
+  if (a.pruneAuditGiven) ccfg.prune.auditK = a.pruneAudit;
   inject::Campaign campaign(&image, ccfg);
   if (!campaign.profile()) {
     std::fprintf(stderr, "program failed its golden run\n");
@@ -290,7 +316,12 @@ int cmdInject(const Args& a) {
       armor.detect = a.detect;
       armor.detectAuto = false;
     }
+    if (a.sampleGiven) {
+      armor.detectSample = a.sample;
+      armor.detectSampleAuto = false;
+    }
     const sentinel::DetectOptions det = armor.resolvedDetect();
+    const pareto::SampleConfig sample = armor.resolvedDetectSample();
     Md5 h;
     h.update("carecc-inject");
     h.update(slurp(a.file));
@@ -312,6 +343,16 @@ int cmdInject(const Args& a) {
       const std::uint64_t ck[] = {campaign.checkpointInterval()};
       h.update(ck, sizeof(ck));
     }
+    // Sampled builds run different detector subsets (when armed), and
+    // pruned shards carry representative trials; both must not collide
+    // with unsampled/unpruned entries. Rate-1 / prune-off keys stay
+    // byte-identical to their pre-pareto values.
+    if (det.any() && sample.rate > 1) {
+      const std::uint64_t sm[] = {sample.rate, sample.epoch % sample.rate};
+      h.update("detect-sample");
+      h.update(sm, sizeof(sm));
+    }
+    if (campaign.pruneOptions().enabled) h.update("prune");
     svc.storeKey = h.finish().hex();
   }
 
@@ -319,8 +360,8 @@ int cmdInject(const Args& a) {
   tel.workload = a.file;
   tel.fault = inject::faultModelName(campaign.faultModel());
   tel.ecc = vm::eccModeName(campaign.eccMode());
-  const auto records = inject::runShardedTrials(
-      a.injections, a.seed, svc,
+  const auto records = inject::runCampaignTrials(
+      campaign, points, a.seed, svc,
       [&](int i, Rng&) {
         inject::InjectionRecord rec;
         rec.point = points[static_cast<std::size_t>(i)];
@@ -430,6 +471,35 @@ int main(int argc, char** argv) {
       try {
         vm::setDefaultInterp(
             vm::parseInterp(s.substr(std::strlen("--interp="))));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (s.rfind("--detect-sample=", 0) == 0) {
+      a.sampleGiven = true;
+      try {
+        a.sample = pareto::parseDetectSample(
+            s.substr(std::strlen("--detect-sample=")));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (s.rfind("--prune=", 0) == 0) {
+      a.pruneGiven = true;
+      try {
+        a.prune = pareto::parsePruneFlag(s.substr(std::strlen("--prune=")));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "carecc: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (s.rfind("--prune-audit=", 0) == 0) {
+      a.pruneAuditGiven = true;
+      try {
+        a.pruneAudit =
+            pareto::parsePruneAudit(s.substr(std::strlen("--prune-audit=")));
       } catch (const Error& e) {
         std::fprintf(stderr, "carecc: %s\n", e.what());
         return 2;
